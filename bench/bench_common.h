@@ -1,0 +1,26 @@
+// Shared table-printing helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one experiment from DESIGN.md §4 and prints
+// a fixed-width table: the paper's closed-form prediction next to the
+// measured value, so the reproduction claim (same shape, same winners, same
+// crossovers) can be eyeballed directly and recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rstp::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Marks a row value as OK/FAIL for quick scanning.
+inline const char* verdict(bool ok) { return ok ? "ok" : "FAIL"; }
+
+}  // namespace rstp::bench

@@ -1,0 +1,62 @@
+// Adversarial channel demo: why the paper encodes blocks as MULTISETS.
+//
+// Runs the Lemma 5.1 adversary (window-batched, canonically-ordered
+// delivery) against two protocols with the same send/wait rhythm:
+//   * A^β(k)   — decodes each block from its multiset → immune to the
+//                adversary by construction;
+//   * strawman — positional coding (more bits per block!) → silently
+//                corrupted, because arrival order IS its data.
+// Then shows the flip side: under a FIFO channel the strawman works and is
+// faster, which is exactly the trap; the model only guarantees the multiset.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "rstp/core/effort.h"
+#include "rstp/core/verify.h"
+#include "rstp/protocols/factory.h"
+
+namespace {
+
+using namespace rstp;
+
+void show(const char* env_name, const core::Environment& env, protocols::ProtocolKind kind,
+          const protocols::ProtocolConfig& cfg) {
+  const core::ProtocolRun run = core::run_protocol(kind, cfg, env);
+  std::size_t errors = 0;
+  const std::size_t common = std::min(run.result.output.size(), cfg.input.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    errors += run.result.output[i] != cfg.input[i] ? 1u : 0u;
+  }
+  const auto verdict = core::verify_trace(run.result.trace, cfg.params, cfg.input);
+  std::printf("  %-12s %-9s: %-9s  bit errors %4zu/%zu   verifier %s\n", env_name,
+              std::string(protocols::to_string(kind)).c_str(),
+              run.output_correct ? "intact" : "CORRUPTED", errors, cfg.input.size(),
+              verdict.ok() ? "accepts" : "rejects");
+}
+
+}  // namespace
+
+int main() {
+  using protocols::ProtocolKind;
+
+  protocols::ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(1, 1, 8);
+  cfg.k = 4;
+  cfg.input = core::make_random_input(160, 0xADE5);
+
+  std::printf("model c1=c2=1, d=8; k=4; |X|=%zu random bits\n\n", cfg.input.size());
+
+  std::printf("FIFO environment (max delay, order preserved):\n");
+  show("fifo", core::Environment::worst_case(), ProtocolKind::Beta, cfg);
+  show("fifo", core::Environment::worst_case(), ProtocolKind::Strawman, cfg);
+
+  std::printf("\nLemma 5.1 batch adversary (windows delivered as sorted batches):\n");
+  show("adversarial", core::Environment::adversarial_fast(), ProtocolKind::Beta, cfg);
+  show("adversarial", core::Environment::adversarial_fast(), ProtocolKind::Strawman, cfg);
+
+  std::printf(
+      "\ntakeaway: within a delivery window the receiver can only trust the multiset of\n"
+      "packets — exactly the quantity mu_k(delta) that appears in the paper's bounds.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "rstp/channel/channel.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rstp/common/check.h"
+
+namespace rstp::channel {
+
+namespace {
+
+/// Delivery order: time, then policy tie key, then send order.
+[[nodiscard]] bool delivers_before(const InFlightPacket& a, const InFlightPacket& b) {
+  if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+  if (a.order_key != b.order_key) return a.order_key < b.order_key;
+  return a.send_seq < b.send_seq;
+}
+
+}  // namespace
+
+Channel::Channel(Duration max_delay, std::unique_ptr<DeliveryPolicy> policy, Duration min_delay)
+    : max_delay_(max_delay), min_delay_(min_delay), policy_(std::move(policy)) {
+  RSTP_CHECK(!min_delay_.is_negative(), "channel minimum delay must be non-negative");
+  RSTP_CHECK_LE(min_delay_.ticks(), max_delay_.ticks(), "need min_delay <= max_delay");
+  RSTP_CHECK(policy_ != nullptr, "channel requires a delivery policy");
+}
+
+void Channel::send(const ioa::Packet& packet, Time now) {
+  const Time earliest = now + min_delay_;
+  const Time deadline = now + max_delay_;
+  const Delivery choice = policy_->choose(packet, now, deadline, send_seq_);
+  if (choice.when < earliest || choice.when > deadline) {
+    std::ostringstream os;
+    os << "delivery policy violated the channel model: packet sent " << now
+       << " scheduled for delivery " << choice.when << " outside [" << earliest << ", "
+       << deadline << "]";
+    throw ModelError(os.str());
+  }
+  InFlightPacket entry{packet, now, choice.when, choice.order_key, send_seq_};
+  ++send_seq_;
+  // Insert keeping the in-flight list sorted by delivery order; traffic in
+  // this model is small enough that O(n) insertion is irrelevant.
+  const auto pos = std::upper_bound(in_flight_.begin(), in_flight_.end(), entry, delivers_before);
+  in_flight_.insert(pos, entry);
+}
+
+std::optional<Time> Channel::next_delivery_time() const {
+  if (in_flight_.empty()) return std::nullopt;
+  return in_flight_.front().deliver_at;
+}
+
+std::vector<InFlightPacket> Channel::collect_due(Time now) {
+  const auto split = std::partition_point(
+      in_flight_.begin(), in_flight_.end(),
+      [now](const InFlightPacket& p) { return p.deliver_at <= now; });
+  std::vector<InFlightPacket> due(in_flight_.begin(), split);
+  in_flight_.erase(in_flight_.begin(), split);
+  return due;
+}
+
+}  // namespace rstp::channel

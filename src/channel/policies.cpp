@@ -1,0 +1,76 @@
+#include "rstp/channel/policies.h"
+
+#include "rstp/common/check.h"
+
+namespace rstp::channel {
+
+Delivery ZeroDelayPolicy::choose(const ioa::Packet& /*packet*/, Time sent_at, Time /*deadline*/,
+                                 std::uint64_t /*send_seq*/) {
+  return Delivery{sent_at, 0};
+}
+
+FixedDelayPolicy::FixedDelayPolicy(Duration delay) : delay_(delay) {
+  RSTP_CHECK(!delay_.is_negative(), "fixed delay must be non-negative");
+}
+
+Delivery FixedDelayPolicy::choose(const ioa::Packet& /*packet*/, Time sent_at, Time /*deadline*/,
+                                  std::uint64_t /*send_seq*/) {
+  return Delivery{sent_at + delay_, 0};
+}
+
+Delivery MaxDelayPolicy::choose(const ioa::Packet& /*packet*/, Time /*sent_at*/, Time deadline,
+                                std::uint64_t /*send_seq*/) {
+  return Delivery{deadline, 0};
+}
+
+UniformRandomPolicy::UniformRandomPolicy(Rng rng, Duration lo, Duration hi)
+    : rng_(rng), lo_(lo), hi_(hi) {
+  RSTP_CHECK(!lo_.is_negative(), "random delay lower bound must be non-negative");
+  RSTP_CHECK_LE(lo_.ticks(), hi_.ticks(), "random delay bounds inverted");
+}
+
+Delivery UniformRandomPolicy::choose(const ioa::Packet& /*packet*/, Time sent_at,
+                                     Time /*deadline*/, std::uint64_t /*send_seq*/) {
+  return Delivery{sent_at + rng_.next_duration(lo_, hi_), 0};
+}
+
+AdversarialBatchPolicy::AdversarialBatchPolicy(Duration window, Duration max_delay,
+                                               BatchOrder order)
+    : window_(window), max_delay_(max_delay), order_(order) {
+  RSTP_CHECK_GT(window_.ticks(), 0, "batch window must be positive");
+  RSTP_CHECK_LE(window_.ticks(), max_delay_.ticks(),
+                "batch window must not exceed d, or batching would violate the delay bound");
+}
+
+Delivery AdversarialBatchPolicy::choose(const ioa::Packet& packet, Time sent_at, Time /*deadline*/,
+                                        std::uint64_t /*send_seq*/) {
+  // Window index of the send instant, and the common batch delivery time.
+  const std::int64_t w = (sent_at - Time::zero()).floor_div(window_);
+  const Time batch_time = Time::zero() + window_ * w + max_delay_;
+  // Order inside the batch depends only on the payload: two windows carrying
+  // equal multisets produce byte-identical delivery prefixes, which is the
+  // indistinguishability the lower-bound proofs exploit.
+  const std::uint64_t key = order_ == BatchOrder::AscendingPayload
+                                ? packet.payload
+                                : ~static_cast<std::uint64_t>(packet.payload);
+  return Delivery{batch_time, key};
+}
+
+std::unique_ptr<DeliveryPolicy> make_zero_delay() { return std::make_unique<ZeroDelayPolicy>(); }
+
+std::unique_ptr<DeliveryPolicy> make_fixed_delay(Duration delay) {
+  return std::make_unique<FixedDelayPolicy>(delay);
+}
+
+std::unique_ptr<DeliveryPolicy> make_max_delay() { return std::make_unique<MaxDelayPolicy>(); }
+
+std::unique_ptr<DeliveryPolicy> make_uniform_random(std::uint64_t seed, Duration lo, Duration hi) {
+  return std::make_unique<UniformRandomPolicy>(Rng{seed}, lo, hi);
+}
+
+std::unique_ptr<DeliveryPolicy> make_adversarial_batch(Duration window, Duration max_delay,
+                                                       AdversarialBatchPolicy::BatchOrder order) {
+  return std::make_unique<AdversarialBatchPolicy>(window, max_delay, order);
+}
+
+}  // namespace rstp::channel

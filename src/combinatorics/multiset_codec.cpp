@@ -1,0 +1,144 @@
+#include "rstp/combinatorics/multiset_codec.h"
+
+#include <algorithm>
+
+#include "rstp/common/check.h"
+
+namespace rstp::combinatorics {
+
+using bigint::BigUint;
+
+Multiset::Multiset(std::uint32_t k) : counts_(k, 0) {
+  RSTP_CHECK_GE(k, 1u, "multiset universe must be non-empty");
+}
+
+Multiset Multiset::from_symbols(std::uint32_t k, std::span<const Symbol> symbols) {
+  Multiset m{k};
+  for (Symbol s : symbols) {
+    m.add(s);
+  }
+  return m;
+}
+
+std::uint32_t Multiset::count(Symbol s) const {
+  RSTP_CHECK_LT(s, universe(), "symbol outside universe");
+  return counts_[s];
+}
+
+void Multiset::add(Symbol s) {
+  RSTP_CHECK_LT(s, universe(), "symbol outside universe");
+  ++counts_[s];
+  ++size_;
+}
+
+void Multiset::remove(Symbol s) {
+  RSTP_CHECK_LT(s, universe(), "symbol outside universe");
+  RSTP_CHECK_GT(counts_[s], 0u, "removing absent symbol");
+  --counts_[s];
+  --size_;
+}
+
+void Multiset::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0u);
+  size_ = 0;
+}
+
+std::vector<Symbol> Multiset::to_sorted_sequence() const {
+  std::vector<Symbol> seq;
+  seq.reserve(size_);
+  for (Symbol s = 0; s < universe(); ++s) {
+    seq.insert(seq.end(), counts_[s], s);
+  }
+  return seq;
+}
+
+bool Multiset::submultiset_of(const Multiset& other) const {
+  RSTP_CHECK_EQ(universe(), other.universe(), "submultiset over different universes");
+  for (Symbol s = 0; s < universe(); ++s) {
+    if (counts_[s] > other.counts_[s]) return false;
+  }
+  return true;
+}
+
+MultisetCodec::MultisetCodec(std::uint32_t k, std::uint32_t n) : k_(k), n_(n) {
+  RSTP_CHECK_GE(k, 1u, "codec universe must be non-empty");
+  // mu_table_[j][L] = μ_j(L), the number of non-decreasing length-L sequences
+  // over a j-symbol universe. Pascal-style recurrence, exact additions only.
+  mu_table_.assign(k_ + 1, std::vector<BigUint>(n_ + 1));
+  for (std::uint32_t j = 0; j <= k_; ++j) {
+    mu_table_[j][0] = BigUint{1};  // the empty sequence
+  }
+  for (std::uint32_t L = 1; L <= n_; ++L) {
+    mu_table_[0][L] = BigUint{};  // no non-empty sequence over an empty universe
+    for (std::uint32_t j = 1; j <= k_; ++j) {
+      mu_table_[j][L] = mu_table_[j - 1][L] + mu_table_[j][L - 1];
+    }
+  }
+}
+
+const BigUint& MultisetCodec::count() const { return mu_table_[k_][n_]; }
+
+const BigUint& MultisetCodec::suffix_count(std::uint32_t j, std::uint32_t L) const {
+  return mu_table_[j][L];
+}
+
+BigUint MultisetCodec::rank(const Multiset& m) const {
+  RSTP_CHECK_EQ(m.universe(), k_, "multiset universe mismatch");
+  RSTP_CHECK_EQ(m.size(), n_, "multiset size mismatch");
+  const std::vector<Symbol> seq = m.to_sorted_sequence();
+  BigUint rank;
+  Symbol prev = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const std::uint32_t remaining = n_ - 1 - i;
+    // Sequences that agree on the prefix but put a smaller symbol c at
+    // position i can complete in μ_{k-c}(remaining) ways.
+    for (Symbol c = prev; c < seq[i]; ++c) {
+      rank += suffix_count(k_ - c, remaining);
+    }
+    prev = seq[i];
+  }
+  return rank;
+}
+
+Multiset MultisetCodec::unrank(const BigUint& value) const {
+  RSTP_CHECK(value < count(), "rank out of range for this codec");
+  BigUint residual = value;
+  Multiset m{k_};
+  Symbol prev = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const std::uint32_t remaining = n_ - 1 - i;
+    Symbol c = prev;
+    while (true) {
+      const BigUint& block = suffix_count(k_ - c, remaining);
+      if (residual < block) break;
+      residual -= block;
+      ++c;
+      RSTP_CHECK_LT(c, k_, "unrank overran the universe");
+    }
+    m.add(c);
+    prev = c;
+  }
+  RSTP_CHECK(residual.is_zero(), "unrank residual nonzero");
+  return m;
+}
+
+BigUint bits_to_biguint(std::span<const std::uint8_t> bits) {
+  BigUint value;
+  for (std::uint8_t b : bits) {
+    RSTP_CHECK(b == 0 || b == 1, "bit values must be 0 or 1");
+    value <<= 1;
+    if (b != 0) value.add_u64(1);
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> biguint_to_bits(const BigUint& value, std::size_t width) {
+  RSTP_CHECK_LE(value.bit_length(), width, "value does not fit in the requested width");
+  std::vector<std::uint8_t> bits(width, 0);
+  for (std::size_t i = 0; i < width; ++i) {
+    bits[width - 1 - i] = value.bit(i) ? 1 : 0;
+  }
+  return bits;
+}
+
+}  // namespace rstp::combinatorics

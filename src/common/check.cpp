@@ -1,0 +1,38 @@
+#include "rstp/common/check.h"
+
+#include <sstream>
+
+namespace rstp::detail {
+
+namespace {
+
+std::string format_location(const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " (" << loc.function_name() << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void contract_failure(std::string_view condition, std::string_view message,
+                      const std::source_location& loc) {
+  std::ostringstream os;
+  os << "RSTP_CHECK failed: `" << condition << "`";
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  os << " at " << format_location(loc);
+  throw ContractViolation(os.str());
+}
+
+void unreachable_failure(std::string_view message, const std::source_location& loc) {
+  std::ostringstream os;
+  os << "RSTP_UNREACHABLE reached";
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  os << " at " << format_location(loc);
+  throw ContractViolation(os.str());
+}
+
+}  // namespace rstp::detail

@@ -1,0 +1,11 @@
+#include "rstp/common/time.h"
+
+#include <ostream>
+
+namespace rstp {
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ticks() << "t"; }
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << "@" << t.ticks(); }
+
+}  // namespace rstp

@@ -1,0 +1,63 @@
+#include "rstp/core/bounds.h"
+
+#include <ostream>
+
+#include "rstp/combinatorics/binomial.h"
+#include "rstp/common/check.h"
+
+namespace rstp::core {
+
+BoundsReport compute_bounds(const TimingParams& params, std::uint32_t k) {
+  params.validate();
+  RSTP_CHECK_GE(k, 2u, "bounds require a packet alphabet of at least two symbols");
+
+  BoundsReport r;
+  r.params = params;
+  r.k = k;
+  r.delta1 = params.delta1();
+  r.delta1_wait = params.delta1_wait();
+  r.delta2 = params.delta2();
+
+  const auto d1 = static_cast<std::uint32_t>(r.delta1);
+  const auto d1w = static_cast<std::uint32_t>(r.delta1_wait);
+  const auto d2 = static_cast<std::uint32_t>(r.delta2);
+
+  r.beta_bits_per_block = combinatorics::floor_log2_mu(k, d1w);
+  r.gamma_bits_per_block = combinatorics::floor_log2_mu(k, d2);
+
+  const auto c2 = static_cast<double>(params.c2.ticks());
+  const auto d = static_cast<double>(params.d.ticks());
+
+  // Theorem 5.3: eff ≥ δ1·c2 / log2(ζ_k(δ1)).
+  r.passive_lower = static_cast<double>(r.delta1) * c2 / combinatorics::log2_zeta(k, d1);
+  // Theorem 5.6: eff ≥ d / log2(ζ_k(δ2)).
+  r.active_lower = d / combinatorics::log2_zeta(k, d2);
+
+  // §4: A^α takes exactly ⌈d/c1⌉ steps per message, each ≤ c2.
+  r.alpha_effort = static_cast<double>(r.delta1_wait) * c2;
+  // Lemma 6.1 bound: each round is 2δ steps of ≤ c2 carrying B bits.
+  r.beta_upper = 2.0 * static_cast<double>(r.delta1_wait) * c2 /
+                 static_cast<double>(r.beta_bits_per_block);
+  // §6.2 bound: each block of B bits completes within 3d + c2.
+  r.gamma_upper = (3.0 * d + c2) / static_cast<double>(r.gamma_bits_per_block);
+  // Stop-and-wait: one bit per round trip (send step→delivery→ack
+  // step→delivery→next send step), ≤ 2d + 2c2 per bit.
+  r.altbit_upper = 2.0 * d + 2.0 * c2;
+
+  return r;
+}
+
+std::ostream& operator<<(std::ostream& os, const BoundsReport& r) {
+  os << "bounds " << r.params << " k=" << r.k << '\n'
+     << "  delta1=" << r.delta1 << " delta1_wait=" << r.delta1_wait << " delta2=" << r.delta2
+     << '\n'
+     << "  B_beta=" << r.beta_bits_per_block << " B_gamma=" << r.gamma_bits_per_block << '\n'
+     << "  passive_lower=" << r.passive_lower << "  beta_upper=" << r.beta_upper
+     << "  ratio=" << r.passive_ratio() << '\n'
+     << "  active_lower=" << r.active_lower << "  gamma_upper=" << r.gamma_upper
+     << "  ratio=" << r.active_ratio() << '\n'
+     << "  alpha_effort=" << r.alpha_effort << "  altbit_upper=" << r.altbit_upper;
+  return os;
+}
+
+}  // namespace rstp::core

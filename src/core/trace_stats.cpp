@@ -1,0 +1,147 @@
+#include "rstp/core/trace_stats.h"
+
+#include <deque>
+#include <map>
+#include <ostream>
+
+namespace rstp::core {
+
+namespace {
+
+using ioa::ActionKind;
+using ioa::Actor;
+using ioa::TimedEvent;
+
+void accumulate_gap(GapStats& stats, std::optional<Time>& last, double& gap_sum, Time now) {
+  ++stats.steps;
+  if (last.has_value()) {
+    const Duration gap = now - *last;
+    gap_sum += static_cast<double>(gap.ticks());
+    if (!stats.min_gap.has_value() || gap < *stats.min_gap) stats.min_gap = gap;
+    if (!stats.max_gap.has_value() || gap > *stats.max_gap) stats.max_gap = gap;
+  }
+  last = now;
+}
+
+void accumulate_delay(DelayStats& stats, double& delay_sum, Duration delay) {
+  ++stats.delivered;
+  delay_sum += static_cast<double>(delay.ticks());
+  if (!stats.min_delay.has_value() || delay < *stats.min_delay) stats.min_delay = delay;
+  if (!stats.max_delay.has_value() || delay > *stats.max_delay) stats.max_delay = delay;
+}
+
+void print_gaps(std::ostream& os, const char* who, const GapStats& g) {
+  os << "  " << who << ": " << g.steps << " steps";
+  if (g.min_gap.has_value()) {
+    os << ", gaps [" << *g.min_gap << ", " << *g.max_gap << "], mean " << g.mean_gap;
+  }
+  os << '\n';
+}
+
+void print_delays(std::ostream& os, const char* what, const DelayStats& d) {
+  os << "  " << what << ": " << d.delivered << " delivered";
+  if (d.unmatched_sends != 0) os << " (" << d.unmatched_sends << " unmatched)";
+  if (d.min_delay.has_value()) {
+    os << ", delay [" << *d.min_delay << ", " << *d.max_delay << "], mean " << d.mean_delay;
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+TraceStats compute_trace_stats(const ioa::TimedTrace& trace) {
+  TraceStats stats;
+  std::optional<Time> last_t_step;
+  std::optional<Time> last_r_step;
+  double t_gap_sum = 0;
+  double r_gap_sum = 0;
+  double data_delay_sum = 0;
+  double ack_delay_sum = 0;
+
+  // Outstanding sends per packet value (greedy earliest matching, as in the
+  // verifier) for delay measurement and occupancy.
+  std::map<std::pair<std::uint8_t, std::uint32_t>, std::deque<Time>> outstanding;
+  std::uint64_t in_flight = 0;
+
+  for (const TimedEvent& e : trace.events()) {
+    if (e.actor == Actor::Transmitter) {
+      accumulate_gap(stats.transmitter, last_t_step, t_gap_sum, e.time);
+    } else if (e.actor == Actor::Receiver) {
+      accumulate_gap(stats.receiver, last_r_step, r_gap_sum, e.time);
+    }
+
+    switch (e.action.kind) {
+      case ActionKind::Send: {
+        outstanding[{static_cast<std::uint8_t>(e.action.packet.direction),
+                     e.action.packet.payload}]
+            .push_back(e.time);
+        ++in_flight;
+        stats.max_in_flight = std::max(stats.max_in_flight, in_flight);
+        if (e.action.packet.source() == ioa::ProcessId::Transmitter) {
+          stats.last_transmitter_send = e.time;
+        }
+        break;
+      }
+      case ActionKind::Recv: {
+        auto it = outstanding.find({static_cast<std::uint8_t>(e.action.packet.direction),
+                                    e.action.packet.payload});
+        if (it != outstanding.end() && !it->second.empty()) {
+          const Duration delay = e.time - it->second.front();
+          it->second.pop_front();
+          --in_flight;
+          if (e.action.packet.direction == ioa::Packet::Direction::TransmitterToReceiver) {
+            accumulate_delay(stats.data, data_delay_sum, delay);
+          } else {
+            accumulate_delay(stats.acks, ack_delay_sum, delay);
+          }
+        }
+        break;
+      }
+      case ActionKind::Write:
+        ++stats.writes;
+        break;
+      case ActionKind::Internal:
+        break;
+    }
+  }
+
+  for (const auto& [key, sends] : outstanding) {
+    if (key.first == static_cast<std::uint8_t>(ioa::Packet::Direction::TransmitterToReceiver)) {
+      stats.data.unmatched_sends += sends.size();
+    } else {
+      stats.acks.unmatched_sends += sends.size();
+    }
+  }
+
+  if (stats.transmitter.steps > 1) {
+    stats.transmitter.mean_gap = t_gap_sum / static_cast<double>(stats.transmitter.steps - 1);
+  }
+  if (stats.receiver.steps > 1) {
+    stats.receiver.mean_gap = r_gap_sum / static_cast<double>(stats.receiver.steps - 1);
+  }
+  if (stats.data.delivered > 0) {
+    stats.data.mean_delay = data_delay_sum / static_cast<double>(stats.data.delivered);
+  }
+  if (stats.acks.delivered > 0) {
+    stats.acks.mean_delay = ack_delay_sum / static_cast<double>(stats.acks.delivered);
+  }
+  stats.end_time = trace.end_time();
+  if (stats.writes > 0 && stats.end_time.ticks() > 0) {
+    stats.write_throughput =
+        static_cast<double>(stats.writes) / static_cast<double>(stats.end_time.ticks());
+  }
+  return stats;
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceStats& stats) {
+  os << "trace stats (end " << stats.end_time << ", " << stats.writes << " writes, "
+     << stats.write_throughput << " writes/tick):\n";
+  print_gaps(os, "A_t", stats.transmitter);
+  print_gaps(os, "A_r", stats.receiver);
+  print_delays(os, "data", stats.data);
+  print_delays(os, "acks", stats.acks);
+  os << "  peak in-flight: " << stats.max_in_flight;
+  return os;
+}
+
+}  // namespace rstp::core

@@ -1,0 +1,179 @@
+#include "rstp/core/verify.h"
+
+#include <deque>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "rstp/common/check.h"
+
+namespace rstp::core {
+
+namespace {
+
+using ioa::ActionKind;
+using ioa::Actor;
+using ioa::TimedEvent;
+
+void add_violation(VerifyResult& result, ViolationKind kind, std::uint64_t seq,
+                   std::string detail) {
+  result.violations.push_back(Violation{kind, seq, std::move(detail)});
+}
+
+/// Checks the Σ(A_t, A_r) gap law for one process's local events.
+void check_step_gaps(VerifyResult& result, const std::vector<TimedEvent>& events,
+                     const TimingParams& params, const VerifyOptions& options,
+                     std::string_view who) {
+  if (events.empty()) return;
+  if (options.check_first_step && events.front().time > Time::zero() + params.c2) {
+    std::ostringstream os;
+    os << who << " first local event at " << events.front().time << " > c2=" << params.c2;
+    add_violation(result, ViolationKind::FirstStepTooLate, events.front().seq, os.str());
+  }
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const Duration gap = events[i].time - events[i - 1].time;
+    if (gap < params.c1) {
+      std::ostringstream os;
+      os << who << " step gap " << gap << " < c1=" << params.c1 << " before event #"
+         << events[i].seq;
+      add_violation(result, ViolationKind::StepGapTooSmall, events[i].seq, os.str());
+    } else if (gap > params.c2) {
+      std::ostringstream os;
+      os << who << " step gap " << gap << " > c2=" << params.c2 << " before event #"
+         << events[i].seq;
+      add_violation(result, ViolationKind::StepGapTooLarge, events[i].seq, os.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::StepGapTooSmall:
+      return os << "StepGapTooSmall";
+    case ViolationKind::StepGapTooLarge:
+      return os << "StepGapTooLarge";
+    case ViolationKind::FirstStepTooLate:
+      return os << "FirstStepTooLate";
+    case ViolationKind::RecvWithoutSend:
+      return os << "RecvWithoutSend";
+    case ViolationKind::DeliveryTooEarly:
+      return os << "DeliveryTooEarly";
+    case ViolationKind::DeliveryTooLate:
+      return os << "DeliveryTooLate";
+    case ViolationKind::UndeliveredPacket:
+      return os << "UndeliveredPacket";
+    case ViolationKind::OutputNotPrefix:
+      return os << "OutputNotPrefix";
+    case ViolationKind::OutputIncomplete:
+      return os << "OutputIncomplete";
+  }
+  return os << "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Violation& v) {
+  return os << v.kind << " (event #" << v.event_seq << "): " << v.detail;
+}
+
+bool VerifyResult::clean_of(ViolationKind kind) const {
+  for (const Violation& v : violations) {
+    if (v.kind == kind) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const VerifyResult& r) {
+  if (r.ok()) return os << "trace OK";
+  os << r.violations.size() << " violation(s):\n";
+  for (const Violation& v : r.violations) {
+    os << "  " << v << '\n';
+  }
+  return os;
+}
+
+VerifyResult verify_trace(const ioa::TimedTrace& trace, const TimingParams& params,
+                          std::span<const ioa::Bit> input, const VerifyOptions& options) {
+  params.validate();
+  VerifyResult result;
+
+  // --- Σ(A_t, A_r): per-process step-gap law --------------------------------
+  const TimingParams& t_params = options.transmitter_params.value_or(params);
+  const TimingParams& r_params = options.receiver_params.value_or(params);
+  check_step_gaps(result, trace.local_events(Actor::Transmitter), t_params, options, "A_t");
+  check_step_gaps(result, trace.local_events(Actor::Receiver), r_params, options, "A_r");
+
+  // --- Δ(C(P)): bounded-delay bijection -------------------------------------
+  // Outstanding sends per packet value, in send order; greedy earliest match.
+  std::map<std::pair<std::uint8_t, std::uint32_t>, std::deque<TimedEvent>> outstanding;
+  const auto key_of = [](const ioa::Packet& p) {
+    return std::make_pair(static_cast<std::uint8_t>(p.direction), p.payload);
+  };
+  std::size_t written_count = 0;
+
+  for (const TimedEvent& e : trace.events()) {
+    switch (e.action.kind) {
+      case ActionKind::Send:
+        outstanding[key_of(e.action.packet)].push_back(e);
+        break;
+      case ActionKind::Recv: {
+        auto it = outstanding.find(key_of(e.action.packet));
+        if (it == outstanding.end() || it->second.empty()) {
+          std::ostringstream os;
+          os << "recv of " << e.action.packet << " at " << e.time
+             << " has no outstanding matching send";
+          add_violation(result, ViolationKind::RecvWithoutSend, e.seq, os.str());
+          break;
+        }
+        const TimedEvent send = it->second.front();
+        it->second.pop_front();
+        const Duration delay = e.time - send.time;
+        if (delay > params.d) {
+          std::ostringstream os;
+          os << e.action.packet << " sent " << send.time << " received " << e.time << " (delay "
+             << delay << " > d=" << params.d << ")";
+          add_violation(result, ViolationKind::DeliveryTooLate, e.seq, os.str());
+        } else if (delay < options.min_delay) {
+          std::ostringstream os;
+          os << e.action.packet << " sent " << send.time << " received " << e.time << " (delay "
+             << delay << " < d1=" << options.min_delay << ")";
+          add_violation(result, ViolationKind::DeliveryTooEarly, e.seq, os.str());
+        }
+        break;
+      }
+      case ActionKind::Write: {
+        // --- Safety: Y must stay a prefix of X -------------------------------
+        if (written_count >= input.size() || input[written_count] != e.action.message) {
+          std::ostringstream os;
+          os << "write #" << written_count + 1 << " value "
+             << static_cast<int>(e.action.message) << " breaks the prefix property";
+          add_violation(result, ViolationKind::OutputNotPrefix, e.seq, os.str());
+        }
+        ++written_count;
+        break;
+      }
+      case ActionKind::Internal:
+        break;
+    }
+  }
+
+  if (options.require_drained) {
+    for (const auto& [key, sends] : outstanding) {
+      for (const TimedEvent& send : sends) {
+        std::ostringstream os;
+        os << send.action.packet << " sent at " << send.time << " was never delivered";
+        add_violation(result, ViolationKind::UndeliveredPacket, send.seq, os.str());
+      }
+    }
+  }
+
+  if (options.require_complete && written_count != input.size()) {
+    std::ostringstream os;
+    os << "output has " << written_count << " messages, input has " << input.size();
+    add_violation(result, ViolationKind::OutputIncomplete, 0, os.str());
+  }
+
+  return result;
+}
+
+}  // namespace rstp::core

@@ -1,0 +1,97 @@
+// The channel automaton C(P) (paper §4) with bounded-delay timing (Δ(C(P))).
+//
+// Untimed, C(P)'s fair executions are exactly the sequences with a bijection
+// between send and recv events in which no packet is received before it is
+// sent — i.e. a lossless, duplication-free, arbitrarily-reordering bag. The
+// timing property Δ(C(P)) additionally bounds every packet's (recv − send)
+// difference by d.
+//
+// We realize the nondeterminism with a DeliveryPolicy: at each send the
+// policy picks the delivery instant (and a tie-order key) within [sent, sent
+// + d]. Different policies are different adversaries/environments — FIFO,
+// random, latest-possible, and the batch adversary from the Lemma 5.1/5.4
+// lower-bound constructions. The Channel enforces the model: a policy that
+// returns an out-of-window time triggers rstp::ModelError.
+//
+// Simultaneous deliveries: the discrete-time model needs a tie rule where the
+// paper's continuous model has measure-zero coincidences. Deliveries at equal
+// times are handed over in ascending (order_key, send_seq) order; the default
+// order_key is 0, making equal-time deliveries arrive in send order. Policies
+// may override order_key to exercise adversarial same-instant orders; the
+// verifier only requires the delay window, not the tie rule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rstp/common/time.h"
+#include "rstp/ioa/action.h"
+
+namespace rstp::channel {
+
+/// A policy's decision for one packet.
+struct Delivery {
+  Time when{};                 ///< delivery instant, in [sent_at, sent_at + d]
+  std::uint64_t order_key = 0;  ///< tie order among equal-time deliveries
+};
+
+/// Strategy resolving the channel's nondeterminism. Implementations must be
+/// deterministic given their construction (seeded RNG allowed).
+class DeliveryPolicy {
+ public:
+  virtual ~DeliveryPolicy() = default;
+
+  /// Chooses when the `send_seq`-th packet, sent at `sent_at`, is delivered.
+  /// `deadline` equals sent_at + d. Must return when ∈ [sent_at, deadline].
+  [[nodiscard]] virtual Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
+                                        std::uint64_t send_seq) = 0;
+};
+
+/// One packet accepted by the channel and not yet delivered.
+struct InFlightPacket {
+  ioa::Packet packet{};
+  Time sent_at{};
+  Time deliver_at{};
+  std::uint64_t order_key = 0;
+  std::uint64_t send_seq = 0;
+};
+
+/// The channel automaton with its timing property enforced at run time.
+class Channel {
+ public:
+  /// `max_delay` is the paper's d. The policy resolves delivery times.
+  /// `min_delay` generalizes the model per the paper's §7 (delivery within
+  /// [d1, d2] instead of [0, d]); the default 0 is the paper's base model.
+  /// The policy must respect both bounds — the channel enforces them.
+  Channel(Duration max_delay, std::unique_ptr<DeliveryPolicy> policy,
+          Duration min_delay = Duration{0});
+
+  /// Accepts a send(p) input at time `now`.
+  void send(const ioa::Packet& packet, Time now);
+
+  /// Earliest pending delivery instant, if any packet is in flight.
+  [[nodiscard]] std::optional<Time> next_delivery_time() const;
+
+  /// Pops and returns every packet whose delivery instant is ≤ `now`, in
+  /// delivery order (time, order_key, send_seq).
+  [[nodiscard]] std::vector<InFlightPacket> collect_due(Time now);
+
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
+  [[nodiscard]] bool empty() const { return in_flight_.empty(); }
+  [[nodiscard]] Duration max_delay() const { return max_delay_; }
+  [[nodiscard]] Duration min_delay() const { return min_delay_; }
+
+  /// Total packets ever accepted (= send events so far).
+  [[nodiscard]] std::uint64_t total_sent() const { return send_seq_; }
+
+ private:
+  Duration max_delay_;
+  Duration min_delay_;
+  std::unique_ptr<DeliveryPolicy> policy_;
+  std::vector<InFlightPacket> in_flight_;  // kept sorted by delivery order
+  std::uint64_t send_seq_ = 0;
+};
+
+}  // namespace rstp::channel

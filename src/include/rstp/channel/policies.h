@@ -1,0 +1,93 @@
+// Concrete delivery policies — points in the channel's nondeterminism space.
+//
+// Each policy is one "environment" the protocols can face:
+//   * ZeroDelayPolicy      — instantaneous delivery (best case, FIFO).
+//   * FixedDelayPolicy     — constant latency f ≤ d (FIFO; a perfect link).
+//   * MaxDelayPolicy       — every packet takes exactly d (worst latency,
+//                            still FIFO; drives worst-case effort runs).
+//   * UniformRandomPolicy  — delay uniform in [lo, hi] ⊆ [0, d]; reorders.
+//   * AdversarialBatchPolicy — the Lemma 5.1/5.4 adversary: groups the sends
+//     of each time window of length W, delivers the whole window as one
+//     batch at the earliest deadline, ordered canonically by payload (or
+//     reversed), erasing all intra-window ordering information. With
+//     W = δ1·c1 this realizes the executions used in the r-passive lower
+//     bound: the receiver observes only the per-window multisets P^tr(X)[i].
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rstp/channel/channel.h"
+#include "rstp/common/rng.h"
+
+namespace rstp::channel {
+
+class ZeroDelayPolicy final : public DeliveryPolicy {
+ public:
+  [[nodiscard]] Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
+                                std::uint64_t send_seq) override;
+};
+
+class FixedDelayPolicy final : public DeliveryPolicy {
+ public:
+  explicit FixedDelayPolicy(Duration delay);
+  [[nodiscard]] Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
+                                std::uint64_t send_seq) override;
+
+ private:
+  Duration delay_;
+};
+
+class MaxDelayPolicy final : public DeliveryPolicy {
+ public:
+  [[nodiscard]] Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
+                                std::uint64_t send_seq) override;
+};
+
+class UniformRandomPolicy final : public DeliveryPolicy {
+ public:
+  /// Delay uniform in [lo, hi]; the channel clamps nothing — lo/hi must fit
+  /// inside [0, d] or the channel reports a model violation at run time.
+  UniformRandomPolicy(Rng rng, Duration lo, Duration hi);
+  [[nodiscard]] Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
+                                std::uint64_t send_seq) override;
+
+ private:
+  Rng rng_;
+  Duration lo_;
+  Duration hi_;
+};
+
+class AdversarialBatchPolicy final : public DeliveryPolicy {
+ public:
+  enum class BatchOrder : std::uint8_t {
+    AscendingPayload,   ///< canonical order — identical for equal multisets
+    DescendingPayload,  ///< reversed canonical order
+  };
+
+  /// Windows are [i·W, (i+1)·W). All packets sent in window i are delivered
+  /// simultaneously at time i·W + d (which is within every member's
+  /// [sent, sent+d] window whenever W ≤ d). Requires 1 ≤ window ≤ d.
+  AdversarialBatchPolicy(Duration window, Duration max_delay,
+                         BatchOrder order = BatchOrder::AscendingPayload);
+
+  [[nodiscard]] Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
+                                std::uint64_t send_seq) override;
+
+ private:
+  Duration window_;
+  Duration max_delay_;
+  BatchOrder order_;
+};
+
+/// Convenience factories.
+[[nodiscard]] std::unique_ptr<DeliveryPolicy> make_zero_delay();
+[[nodiscard]] std::unique_ptr<DeliveryPolicy> make_fixed_delay(Duration delay);
+[[nodiscard]] std::unique_ptr<DeliveryPolicy> make_max_delay();
+[[nodiscard]] std::unique_ptr<DeliveryPolicy> make_uniform_random(std::uint64_t seed, Duration lo,
+                                                                  Duration hi);
+[[nodiscard]] std::unique_ptr<DeliveryPolicy> make_adversarial_batch(
+    Duration window, Duration max_delay,
+    AdversarialBatchPolicy::BatchOrder order = AdversarialBatchPolicy::BatchOrder::AscendingPayload);
+
+}  // namespace rstp::channel

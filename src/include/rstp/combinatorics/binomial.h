@@ -1,0 +1,39 @@
+// Exact binomial coefficients and the paper's counting functions.
+//
+// Section 3 of the paper defines, for a k-symbol universe:
+//   μ_k(n) = |multisets of size n|        = C(n+k-1, k-1)
+//   ζ_k(n) = |multisets of size ≤ n, ≥ 1| = Σ_{j=1..n} μ_k(j)
+// These drive both the encodings (a block of ⌊log2 μ_k(δ)⌋ bits is one
+// multiset of δ packets) and the lower bounds (Theorems 5.3/5.6 divide by
+// log2 ζ_k(δ)). Everything here is exact BigUint arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "rstp/bigint/biguint.h"
+
+namespace rstp::combinatorics {
+
+/// C(n, r), exactly. Returns 0 when r > n.
+[[nodiscard]] bigint::BigUint binomial(std::uint64_t n, std::uint64_t r);
+
+/// μ_k(n) = C(n+k-1, k-1): multisets of size exactly n over {0..k-1}.
+/// Requires k >= 1. μ_k(0) = 1 (the empty multiset).
+[[nodiscard]] bigint::BigUint mu(std::uint32_t k, std::uint32_t n);
+
+/// ζ_k(n) = Σ_{j=1..n} μ_k(j): non-empty multisets of size at most n.
+/// Requires k >= 1; ζ_k(0) = 0.
+[[nodiscard]] bigint::BigUint zeta(std::uint32_t k, std::uint32_t n);
+
+/// ⌊log2 μ_k(n)⌋ — the number of data bits one δ-packet block can carry
+/// (the paper's ⌊log(μ_k(δ))⌋ with log base 2, as |M| = 2).
+/// Requires μ_k(n) >= 1; returns 0 when μ_k(n) = 1 (block carries no data).
+[[nodiscard]] std::size_t floor_log2_mu(std::uint32_t k, std::uint32_t n);
+
+/// log2 μ_k(n) as a double (for bound tables / plots).
+[[nodiscard]] double log2_mu(std::uint32_t k, std::uint32_t n);
+
+/// log2 ζ_k(n) as a double. Requires ζ_k(n) >= 1 (i.e. n >= 1).
+[[nodiscard]] double log2_zeta(std::uint32_t k, std::uint32_t n);
+
+}  // namespace rstp::combinatorics

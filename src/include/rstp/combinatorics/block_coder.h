@@ -1,0 +1,68 @@
+// BlockCoder: the "straightforward but tedious" encoding the paper omits.
+//
+// The β and γ protocols (§6) transmit B = ⌊log2 μ_k(δ)⌋ message bits per
+// block by composing toseq_k(δ) ∘ tomulti_k(δ): the B bits name an integer,
+// the integer is unranked to a multiset of δ symbols, and the multiset's
+// linearization is sent as δ packets. The receiver collects the δ packets
+// into a multiset (in whatever order the channel delivered them), ranks it,
+// and recovers the B bits. This class implements both directions exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rstp/combinatorics/multiset_codec.h"
+
+namespace rstp::combinatorics {
+
+/// A message bit (the paper's M = {0, 1}).
+using Bit = std::uint8_t;
+
+class BlockCoder {
+ public:
+  /// Coder for blocks of `delta` packets over a `k`-symbol alphabet.
+  /// Requires k >= 2 and μ_k(delta) >= 2 (a block must carry at least one
+  /// bit, i.e. delta >= 1).
+  BlockCoder(std::uint32_t k, std::uint32_t delta);
+
+  /// B: data bits carried per block of delta packets.
+  [[nodiscard]] std::size_t bits_per_block() const { return bits_per_block_; }
+
+  /// δ: packets per block.
+  [[nodiscard]] std::uint32_t packets_per_block() const { return codec_.block_size(); }
+
+  /// k: alphabet size.
+  [[nodiscard]] std::uint32_t alphabet() const { return codec_.universe(); }
+
+  /// Encodes exactly bits_per_block() bits into the canonical (sorted)
+  /// δ-symbol block.
+  [[nodiscard]] std::vector<Symbol> encode(std::span<const Bit> bits) const;
+
+  /// Decodes a received block from its multiset. Throws rstp::ModelError if
+  /// the multiset is not a valid codeword (possible only if the channel
+  /// model was violated, e.g. corruption/mixing across blocks).
+  [[nodiscard]] std::vector<Bit> decode(const Multiset& block) const;
+
+  /// Convenience: decode from symbols in arrival order.
+  [[nodiscard]] std::vector<Bit> decode(std::span<const Symbol> symbols) const;
+
+  /// Encodes an arbitrary-length message: pads with zero bits to a multiple
+  /// of bits_per_block() and concatenates the per-block symbol sequences.
+  [[nodiscard]] std::vector<Symbol> encode_message(std::span<const Bit> message) const;
+
+  /// Number of padded bits encode_message() appends to a message of length n.
+  [[nodiscard]] std::size_t padding_for(std::size_t message_bits) const;
+
+  /// Number of blocks encode_message() emits for a message of length n
+  /// (always at least 1, even for an empty message — the paper transmits a
+  /// fixed-length X known to both sides, so an empty X needs no blocks; we
+  /// return 0 in that case).
+  [[nodiscard]] std::size_t blocks_for(std::size_t message_bits) const;
+
+ private:
+  MultisetCodec codec_;
+  std::size_t bits_per_block_;
+};
+
+}  // namespace rstp::combinatorics

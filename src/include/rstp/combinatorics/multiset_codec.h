@@ -1,0 +1,106 @@
+// Multisets over a k-symbol universe and the paper's toseq/tomulti maps.
+//
+// Section 3 postulates two functions without constructing them:
+//   toseq_k(n)   : multi_k(n) → {0..k-1}^n        (a linearization)
+//   tomulti_k(n) : {0,1}^⌊log μ_k(n)⌋ → multi_k(n) (an injection)
+// This module supplies constructive, exact versions via a rank/unrank pair
+// over multisets of size exactly n: multisets are ordered by the
+// lexicographic order of their non-decreasing symbol sequence, and ranks are
+// computed with exact BigUint binomial sums. The bijection means decoding is
+// immune to any permutation of a block's packets — the property the β and γ
+// protocols rely on for correctness over a reordering channel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rstp/bigint/biguint.h"
+
+namespace rstp::combinatorics {
+
+/// A packet symbol: an element of the transmitter's alphabet {0, ..., k-1}.
+using Symbol = std::uint32_t;
+
+/// A multiset over the universe {0..k-1}, stored as per-symbol counts.
+class Multiset {
+ public:
+  /// Empty multiset over a universe of `k` symbols (k >= 1).
+  explicit Multiset(std::uint32_t k);
+
+  /// Builds the multiset of a symbol sequence (any order).
+  [[nodiscard]] static Multiset from_symbols(std::uint32_t k, std::span<const Symbol> symbols);
+
+  /// Universe size k.
+  [[nodiscard]] std::uint32_t universe() const { return static_cast<std::uint32_t>(counts_.size()); }
+
+  /// Total number of elements (with multiplicity) — the paper's |A|.
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+
+  /// mult(s, A): occurrences of symbol s. s must be < universe().
+  [[nodiscard]] std::uint32_t count(Symbol s) const;
+
+  /// Inserts one occurrence of s (the paper's A := A ∪ {s}).
+  void add(Symbol s);
+
+  /// Removes one occurrence of s; s must be present.
+  void remove(Symbol s);
+
+  /// Empties the multiset (the paper's A := ∅).
+  void clear();
+
+  /// toseq: the canonical (non-decreasing) linearization.
+  [[nodiscard]] std::vector<Symbol> to_sorted_sequence() const;
+
+  /// Submultiset test: every multiplicity of *this is ≤ that of `other`.
+  [[nodiscard]] bool submultiset_of(const Multiset& other) const;
+
+  friend bool operator==(const Multiset&, const Multiset&) = default;
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::uint32_t size_ = 0;
+};
+
+/// Rank/unrank bijection between multi_k(n) and [0, μ_k(n)).
+///
+/// Construction: μ-table via the Pascal-style recurrence
+/// μ_j(L) = μ_{j-1}(L) + μ_j(L-1), precomputed once per (k, n); rank and
+/// unrank then run in O(n·k) BigUint additions/comparisons.
+class MultisetCodec {
+ public:
+  /// Requires k >= 1, n >= 0.
+  MultisetCodec(std::uint32_t k, std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t universe() const { return k_; }
+  [[nodiscard]] std::uint32_t block_size() const { return n_; }
+
+  /// μ_k(n): the number of codable multisets.
+  [[nodiscard]] const bigint::BigUint& count() const;
+
+  /// Rank of a multiset in [0, μ_k(n)). Requires m.universe()==k, m.size()==n.
+  [[nodiscard]] bigint::BigUint rank(const Multiset& m) const;
+
+  /// Inverse of rank(). Requires value < μ_k(n).
+  [[nodiscard]] Multiset unrank(const bigint::BigUint& value) const;
+
+ private:
+  /// μ_j(L) — number of non-decreasing length-L sequences over a j-symbol
+  /// suffix universe; used as the suffix-count in ranking.
+  [[nodiscard]] const bigint::BigUint& suffix_count(std::uint32_t j, std::uint32_t L) const;
+
+  std::uint32_t k_;
+  std::uint32_t n_;
+  // mu_table_[j][L] = μ_j(L) for j in [0..k], L in [0..n].
+  std::vector<std::vector<bigint::BigUint>> mu_table_;
+};
+
+/// Converts a bit string (MSB first) to the integer it denotes.
+[[nodiscard]] bigint::BigUint bits_to_biguint(std::span<const std::uint8_t> bits);
+
+/// Renders `value` as exactly `width` bits, MSB first. Requires
+/// value < 2^width.
+[[nodiscard]] std::vector<std::uint8_t> biguint_to_bits(const bigint::BigUint& value,
+                                                        std::size_t width);
+
+}  // namespace rstp::combinatorics

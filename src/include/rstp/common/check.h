@@ -1,0 +1,68 @@
+// Error-handling primitives for the rstp library.
+//
+// Conventions (see DESIGN.md §7):
+//   * RSTP_CHECK / RSTP_CHECK_* guard preconditions and invariants that a
+//     correct caller must uphold; violations throw rstp::ContractViolation.
+//     They are always on (never compiled out) — this library models a
+//     correctness-critical protocol stack and silent UB is unacceptable.
+//   * rstp::ModelError reports violations of the *paper's model* detected at
+//     run time (e.g. a trace outside good(A), a channel policy exceeding the
+//     delivery deadline). These are expected in negative tests.
+//   * RSTP_UNREACHABLE marks impossible branches.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rstp {
+
+/// Thrown when an RSTP_CHECK-style contract is violated: a programming error
+/// in the caller or in the library itself, never a data-dependent condition.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a run-time object violates the paper's timing/channel model
+/// (for example, a delivery policy that returns a time after the deadline).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void contract_failure(std::string_view condition, std::string_view message,
+                                   const std::source_location& loc);
+
+[[noreturn]] void unreachable_failure(std::string_view message, const std::source_location& loc);
+
+}  // namespace detail
+
+}  // namespace rstp
+
+/// Check `cond`; on failure throw rstp::ContractViolation carrying the source
+/// location and the optional message.
+#define RSTP_CHECK(cond, ...)                                                       \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::rstp::detail::contract_failure(#cond, ::std::string_view{"" __VA_ARGS__},   \
+                                       ::std::source_location::current());          \
+    }                                                                               \
+  } while (false)
+
+/// Binary comparison checks with readable failure text.
+#define RSTP_CHECK_EQ(a, b, ...) RSTP_CHECK((a) == (b), "" __VA_ARGS__)
+#define RSTP_CHECK_NE(a, b, ...) RSTP_CHECK((a) != (b), "" __VA_ARGS__)
+#define RSTP_CHECK_LT(a, b, ...) RSTP_CHECK((a) < (b), "" __VA_ARGS__)
+#define RSTP_CHECK_LE(a, b, ...) RSTP_CHECK((a) <= (b), "" __VA_ARGS__)
+#define RSTP_CHECK_GT(a, b, ...) RSTP_CHECK((a) > (b), "" __VA_ARGS__)
+#define RSTP_CHECK_GE(a, b, ...) RSTP_CHECK((a) >= (b), "" __VA_ARGS__)
+
+/// Mark a branch the author believes impossible. Throws if ever reached.
+#define RSTP_UNREACHABLE(...)                                                      \
+  ::rstp::detail::unreachable_failure(::std::string_view{"" __VA_ARGS__},          \
+                                      ::std::source_location::current())

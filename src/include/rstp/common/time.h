@@ -1,0 +1,106 @@
+// Integral model time.
+//
+// The paper works over real time; we discretize to 64-bit integer "ticks" so
+// that every quantity in the model (step gaps, delivery deadlines, effort
+// numerators) is exact and every simulation is bit-reproducible. A tick has
+// no fixed physical meaning — callers pick the resolution by scaling c1, c2
+// and d (e.g. 1 tick = 1 µs).
+//
+// `Time` is an absolute instant (ticks since the start of the execution, the
+// paper's t(π) with t(first event) = 0); `Duration` is a difference of
+// instants. Both are strong types: mixing them up is a compile error.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+#include "rstp/common/check.h"
+
+namespace rstp {
+
+class Duration;
+
+/// A signed difference between two instants, in ticks. Durations appearing in
+/// the model (c1, c2, d, gaps) are non-negative; negative values only arise
+/// transiently in arithmetic and are rejected where the model requires
+/// non-negativity.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ticks) : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return ticks_; }
+  [[nodiscard]] constexpr bool is_negative() const { return ticks_ < 0; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  constexpr Duration& operator+=(Duration rhs) {
+    ticks_ += rhs.ticks_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration rhs) {
+    ticks_ -= rhs.ticks_;
+    return *this;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ticks_ + b.ticks_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ticks_ - b.ticks_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t s) { return Duration{a.ticks_ * s}; }
+  friend constexpr Duration operator*(std::int64_t s, Duration a) { return Duration{a.ticks_ * s}; }
+  friend constexpr Duration operator-(Duration a) { return Duration{-a.ticks_}; }
+
+  /// Integer division of durations (used for δ = d/c computations); caller
+  /// chooses floor/ceil explicitly via the free functions below.
+  [[nodiscard]] constexpr std::int64_t floor_div(Duration divisor) const {
+    RSTP_CHECK(divisor.ticks_ > 0, "duration division requires a positive divisor");
+    std::int64_t q = ticks_ / divisor.ticks_;
+    std::int64_t r = ticks_ % divisor.ticks_;
+    if (r != 0 && ((r < 0) != (divisor.ticks_ < 0))) --q;
+    return q;
+  }
+  [[nodiscard]] constexpr std::int64_t ceil_div(Duration divisor) const {
+    RSTP_CHECK(divisor.ticks_ > 0, "duration division requires a positive divisor");
+    return -((-*this).floor_div(divisor));
+  }
+
+ private:
+  std::int64_t ticks_ = 0;
+};
+
+/// An absolute instant on the execution timeline (ticks since time 0).
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t ticks) : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return ticks_; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  friend constexpr Time operator+(Time t, Duration d) { return Time{t.ticks_ + d.ticks()}; }
+  friend constexpr Time operator+(Duration d, Time t) { return t + d; }
+  friend constexpr Time operator-(Time t, Duration d) { return Time{t.ticks_ - d.ticks()}; }
+  friend constexpr Duration operator-(Time a, Time b) { return Duration{a.ticks_ - b.ticks_}; }
+
+  constexpr Time& operator+=(Duration d) {
+    ticks_ += d.ticks();
+    return *this;
+  }
+
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() { return Time{std::numeric_limits<std::int64_t>::max()}; }
+
+ private:
+  std::int64_t ticks_ = 0;
+};
+
+/// Literal-style helpers: `ticks(5)` reads better than `Duration{5}` at call
+/// sites dense with model arithmetic.
+[[nodiscard]] constexpr Duration ticks(std::int64_t n) { return Duration{n}; }
+[[nodiscard]] constexpr Time at_tick(std::int64_t n) { return Time{n}; }
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace rstp

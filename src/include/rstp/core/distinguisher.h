@@ -1,0 +1,56 @@
+// Executable Lemma 5.1: transmitter window signatures.
+//
+// The r-passive lower bound (paper §5.1) rests on one observation: since an
+// r-passive deterministic transmitter's behaviour depends only on X, a "fast"
+// execution (steps every c1) is fully described by the function P^tr(X) that
+// maps each window of δ1 consecutive transmitter steps to the MULTISET of
+// packets sent in it — the batch adversary can always deliver a window as one
+// canonically-ordered burst, so the receiver learns nothing beyond the
+// multiset sequence. Lemma 5.1: if two inputs have equal signatures, the
+// receiver behaves identically on both, so a correct protocol must give
+// distinct inputs distinct signatures; counting signatures yields Thm 5.3.
+//
+// This module computes that signature for any r-passive transmitter by
+// driving a clone of it (no channel, no receiver — r-passivity means none is
+// needed) and grouping its sends into δ1-step windows. Tests and E12 use it
+// to (a) verify the shipped protocols' signatures are injective, (b) exhibit
+// two inputs the strawman CANNOT distinguish, and (c) reproduce the counting
+// argument ℓ(n) ≥ n / log2(ζ_k(δ1)) on exhaustive small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rstp/combinatorics/multiset_codec.h"
+#include "rstp/protocols/base.h"
+
+namespace rstp::core {
+
+struct TransmitterSignature {
+  /// P^tr(X)[1..ℓ]: per-window multisets of sent packet payloads. Trailing
+  /// all-empty windows are trimmed, so windows.size() is the paper's ℓ(X).
+  std::vector<combinatorics::Multiset> windows;
+  /// Total send events observed.
+  std::size_t total_sends = 0;
+  /// Step index (1-based) of the last send; 0 if none.
+  std::size_t last_send_step = 0;
+  /// False if the transmitter was still active when the step cap was hit
+  /// (e.g. an ACTIVE transmitter stalling for acks that never come — the
+  /// signature is only meaningful for r-passive transmitters).
+  bool complete = false;
+
+  friend bool operator==(const TransmitterSignature&, const TransmitterSignature&) = default;
+};
+
+/// Computes the signature of (a clone of) `transmitter` over the k-symbol
+/// alphabet with windows of `window_steps` transmitter steps (the paper's
+/// δ1). The transmitter itself is not modified.
+[[nodiscard]] TransmitterSignature transmitter_signature(
+    const protocols::TransmitterBase& transmitter, std::uint32_t k, std::int64_t window_steps,
+    std::uint64_t max_steps = 1'000'000);
+
+/// The paper's ℓ(n) lower bound: any r-passive solution needs at least
+/// ⌈n / log2 ζ_k(δ1)⌉ windows to distinguish all 2^n inputs of length n.
+[[nodiscard]] std::size_t min_windows_for(std::size_t n, std::uint32_t k, std::uint32_t delta1);
+
+}  // namespace rstp::core

@@ -1,0 +1,83 @@
+// Trace verifier: decides membership in good(A) and checks the problem's
+// correctness conditions (paper §4).
+//
+// Given a recorded timed execution, the verifier independently re-checks
+// everything the simulator is supposed to guarantee — it shares no state
+// with the simulator, so it doubles as an oracle in property tests and as a
+// validator for traces produced by other means (e.g. the explorer or
+// hand-written negative tests):
+//
+//   Σ(A_t, A_r): for each process, the gap between consecutive local events
+//                lies in [c1, c2] (and optionally the first step is ≤ c2).
+//   Δ(C(P)):     there is a bijection between send and recv events matching
+//                equal packets with 0 ≤ recv − send ≤ d. (Greedy earliest-
+//                send matching is exact here: all candidates carry identical
+//                payloads, so an exchange argument reduces any valid
+//                bijection to the greedy one.)
+//   Safety:      Y is a prefix of X at every point of the execution.
+//   Liveness:    Y = X at the end (when `require_complete`), and no packet
+//                is left undelivered (when `require_drained`).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rstp/core/params.h"
+#include "rstp/ioa/trace.h"
+
+namespace rstp::core {
+
+enum class ViolationKind : std::uint8_t {
+  StepGapTooSmall,   ///< consecutive local events closer than c1
+  StepGapTooLarge,   ///< consecutive local events farther than c2
+  FirstStepTooLate,  ///< first local event after c2 (optional check)
+  RecvWithoutSend,   ///< recv with no earlier unmatched matching send
+  DeliveryTooEarly,  ///< matched recv − send is below d1 (generalized model)
+  DeliveryTooLate,   ///< matched recv − send exceeds d
+  UndeliveredPacket, ///< send never matched by a recv (optional check)
+  OutputNotPrefix,   ///< a write made Y stop being a prefix of X
+  OutputIncomplete,  ///< Y ≠ X at the end of the trace (optional check)
+};
+
+std::ostream& operator<<(std::ostream& os, ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind{};
+  std::uint64_t event_seq = 0;  ///< seq of the offending event (0 if global)
+  std::string detail;
+};
+
+std::ostream& operator<<(std::ostream& os, const Violation& v);
+
+struct VerifyOptions {
+  bool require_complete = true;  ///< require Y == X at the end
+  bool require_drained = true;   ///< require every send matched by a recv
+  bool check_first_step = false; ///< require each process's first local event ≤ c2
+
+  /// §7 generalization hooks. When set, each process's step-gap law comes
+  /// from its own parameters (instead of the shared ones), and deliveries
+  /// must additionally take at least `min_delay` (the window's d1).
+  std::optional<TimingParams> transmitter_params;
+  std::optional<TimingParams> receiver_params;
+  Duration min_delay{0};
+};
+
+struct VerifyResult {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// True iff no violation of `kind` is present.
+  [[nodiscard]] bool clean_of(ViolationKind kind) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const VerifyResult& r);
+
+/// Verifies `trace` against the model `params` and the input sequence X.
+[[nodiscard]] VerifyResult verify_trace(const ioa::TimedTrace& trace, const TimingParams& params,
+                                        std::span<const ioa::Bit> input,
+                                        const VerifyOptions& options = {});
+
+}  // namespace rstp::core

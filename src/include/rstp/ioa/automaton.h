@@ -1,0 +1,68 @@
+// Deterministic I/O automata (paper §2.1, restricted per §5: "we consider
+// only solutions (A_t, A_r) where both A_t and A_r are deterministic").
+//
+// A deterministic I/O automaton has, in every state, at most one enabled
+// local (output or internal) action, and is input-enabled: any input action
+// can be applied in any state. The simulator (sim/) drives an automaton by
+// alternately delivering inputs (recv events, at channel-chosen times) and
+// asking for its next local step (at scheduler-chosen times).
+//
+// `snapshot()` serializes the automaton's full state; it exists for the
+// bounded-exhaustive explorer (ioa/explorer.h) and for debugging, and two
+// automata of the same type with equal snapshots must behave identically.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rstp/ioa/action.h"
+
+namespace rstp::ioa {
+
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  /// Human-readable automaton name (e.g. "A_t^beta(k=8)").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// The unique enabled local action in the current state, or nullopt if no
+  /// local action is enabled (the automaton is stopped; a finite execution
+  /// ending here is fair, §2.1).
+  [[nodiscard]] virtual std::optional<Action> enabled_local() const = 0;
+
+  /// Applies a transition. `action` must be either the currently enabled
+  /// local action or an input action the automaton accepts; anything else is
+  /// a contract violation.
+  virtual void apply(const Action& action) = 0;
+
+  /// True iff `action` is an input action of this automaton (in(A)).
+  /// Input-enabledness: apply() must accept any such action in any state.
+  [[nodiscard]] virtual bool accepts_input(const Action& action) const = 0;
+
+  /// True when the automaton has finished all useful work and will only
+  /// idle (or do nothing) unless it receives further input. Used by the
+  /// simulator's quiescence detection; it never affects the transition
+  /// relation itself.
+  [[nodiscard]] virtual bool quiescent() const = 0;
+
+  /// Serialized full state; equal snapshots (for the same concrete type)
+  /// imply equal future behaviour. Used by the explorer for state hashing.
+  [[nodiscard]] virtual std::string snapshot() const = 0;
+
+  /// Deep copy, used by the explorer to branch the state space.
+  [[nodiscard]] virtual std::unique_ptr<Automaton> clone() const = 0;
+
+ protected:
+  Automaton() = default;
+  Automaton(const Automaton&) = default;
+  Automaton& operator=(const Automaton&) = default;
+};
+
+/// Applies the enabled local action (if any) and returns it. Convenience for
+/// drivers; returns nullopt when the automaton is stopped.
+std::optional<Action> step_local(Automaton& a);
+
+}  // namespace rstp::ioa

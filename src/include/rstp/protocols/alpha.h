@@ -1,0 +1,64 @@
+// A^α — the simple r-passive solution (paper §4, Figure 1).
+//
+// The transmitter sends each message bit as one packet, then performs
+// ⌈d/c1⌉ − 1 wait steps before the next send, so consecutive sends are at
+// least ⌈d/c1⌉ steps ≥ d time apart even at the fastest rate c1. Packets are
+// therefore delivered in send order and the receiver can write each packet's
+// payload directly. Effort: exactly ⌈d/c1⌉·c2 per message in the worst case
+// (= d·c2/c1 when c1 | d, the paper's value).
+//
+// The receiver stores arrivals in an array and writes them one per step,
+// idling when it has nothing to do — a direct transcription of Figure 1,
+// including the unbounded array the paper's Remark allows for simplicity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rstp/protocols/base.h"
+
+namespace rstp::protocols {
+
+class AlphaTransmitter final : public TransmitterBase {
+ public:
+  explicit AlphaTransmitter(ProtocolConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::optional<ioa::Action> enabled_local() const override;
+  void apply(const ioa::Action& action) override;
+  [[nodiscard]] bool quiescent() const override;
+  [[nodiscard]] bool transmission_complete() const override;
+  [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::unique_ptr<ioa::Automaton> clone() const override;
+
+  /// Steps from one send to the next (⌈d/c1⌉); exposed for tests/benches.
+  [[nodiscard]] std::int64_t steps_per_message() const { return wait_steps_; }
+
+ private:
+  std::string name_;
+  std::vector<ioa::Bit> input_;   // X
+  std::int64_t wait_steps_ = 0;   // ⌈d/c1⌉
+  std::size_t i_ = 0;             // next message index
+  std::int64_t j_ = 0;            // idle-step counter (Figure 1's j)
+};
+
+class AlphaReceiver final : public ReceiverBase {
+ public:
+  explicit AlphaReceiver(ProtocolConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::optional<ioa::Action> enabled_local() const override;
+  void apply(const ioa::Action& action) override;
+  [[nodiscard]] bool quiescent() const override;
+  [[nodiscard]] const std::vector<ioa::Bit>& output() const override { return written_; }
+  [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::unique_ptr<ioa::Automaton> clone() const override;
+
+ private:
+  std::string name_;
+  std::vector<ioa::Bit> received_;  // Figure 1's y_1, y_2, ...
+  std::vector<ioa::Bit> written_;   // Y
+};
+
+}  // namespace rstp::protocols

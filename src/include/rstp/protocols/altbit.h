@@ -1,0 +1,68 @@
+// Stop-and-wait / alternating-bit baseline ([BSW69], cited in §1).
+//
+// The classic comparator: one message bit per round trip. The transmitter
+// sends (x_i, seq) where seq = i mod 2, then idles until the ack carrying
+// seq arrives; the receiver writes each accepted bit and acknowledges every
+// packet with its sequence bit. On this channel (lossless, duplication-free,
+// delay ≤ d) a single outstanding packet needs no retransmission, so the
+// protocol degenerates to pure stop-and-wait; the alternating bit is kept
+// and *checked* at both ends as a protocol-fidelity assertion.
+//
+// Purpose in this repository: the E8 baseline. Its worst-case effort is
+// ~2d + 2c2 per bit (one round trip each), against which the multiset-block
+// protocols' ~(3d + c2)/B per bit shows the win factor of block encoding.
+//
+// Packet formats: data payload = bit | (seq << 1) ∈ {0,1,2,3} (so |P^tr| = 4);
+// ack payload = seq ∈ {0,1}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rstp/protocols/base.h"
+
+namespace rstp::protocols {
+
+class AltBitTransmitter final : public TransmitterBase {
+ public:
+  explicit AltBitTransmitter(ProtocolConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::optional<ioa::Action> enabled_local() const override;
+  void apply(const ioa::Action& action) override;
+  [[nodiscard]] bool quiescent() const override;
+  [[nodiscard]] bool transmission_complete() const override;
+  [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::unique_ptr<ioa::Automaton> clone() const override;
+
+ private:
+  enum class Phase : std::uint8_t { Sending, AwaitingAck };
+
+  std::string name_;
+  std::vector<ioa::Bit> input_;
+  std::size_t i_ = 0;
+  Phase phase_ = Phase::Sending;
+};
+
+class AltBitReceiver final : public ReceiverBase {
+ public:
+  explicit AltBitReceiver(ProtocolConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::optional<ioa::Action> enabled_local() const override;
+  void apply(const ioa::Action& action) override;
+  [[nodiscard]] bool quiescent() const override;
+  [[nodiscard]] const std::vector<ioa::Bit>& output() const override { return written_; }
+  [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::unique_ptr<ioa::Automaton> clone() const override;
+
+ private:
+  std::string name_;
+  std::vector<ioa::Bit> accepted_;       // bits accepted, pending write
+  std::vector<ioa::Bit> written_;        // Y
+  std::vector<std::uint32_t> ack_queue_;  // seq bits to acknowledge, FIFO
+  std::uint32_t expected_seq_ = 0;
+};
+
+}  // namespace rstp::protocols

@@ -1,0 +1,79 @@
+// Shared protocol machinery: configuration, transmitter/receiver interfaces,
+// and the internal-action vocabulary common to all RSTP solutions.
+//
+// A solution to RSTP (paper §4) is a pair (A_t, A_r). Every transmitter here
+// is given the whole input sequence X up front (as in Figures 1/3/4: "we
+// assume that A_t is given X") and every receiver is given |X| — the paper's
+// receivers likewise implicitly know when the job is done ("A_r has only to
+// write the elements of X"); operationally the length lets block receivers
+// discard padding bits and lets the simulator detect quiescence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rstp/core/params.h"
+#include "rstp/ioa/automaton.h"
+
+namespace rstp::protocols {
+
+/// Everything needed to instantiate one (A_t, A_r) pair.
+struct ProtocolConfig {
+  core::TimingParams params{};
+  /// k: the transmitter packet alphabet size, |P^tr| (>= 2).
+  std::uint32_t k = 2;
+  /// X: the input sequence of message bits.
+  std::vector<ioa::Bit> input;
+
+  /// Overrides for the block protocols' derived sizes (both must agree
+  /// between the transmitter and receiver of a pair):
+  ///   * β: block = packets per block (default ⌈d/c1⌉), wait = idle steps
+  ///     between blocks (default ⌈d/c1⌉). Setting wait below ⌈d/c1⌉ breaks
+  ///     the block-separation argument — used by the ablation experiments.
+  ///   * γ: block = packets per block / acks per round (default ⌊d/c2⌋).
+  /// They also serve the §7 generalized model, where the sizes derive from
+  /// per-process rates and a delivery window rather than from `params`.
+  std::optional<std::uint32_t> block_size_override;
+  std::optional<std::uint32_t> wait_steps_override;
+
+  /// Window size for the windowed-γ extension: how many blocks may be in
+  /// flight, each tagged with its block index mod W (alphabet k must be a
+  /// multiple of W, leaving k/W ≥ 2 data symbols). Default 2. W = 1
+  /// degenerates to plain γ's stop-and-wait block rhythm.
+  std::optional<std::uint32_t> window_override;
+
+  /// Validates params, k >= 2, positive overrides, and binary input.
+  void validate() const;
+};
+
+/// Internal action identities shared across protocols (names are for traces).
+inline constexpr std::uint16_t kWaitT = 1;  ///< transmitter inter-block wait
+inline constexpr std::uint16_t kIdleR = 2;  ///< receiver idle
+inline constexpr std::uint16_t kIdleT = 3;  ///< transmitter idle (await acks)
+
+[[nodiscard]] ioa::Action wait_t_action();
+[[nodiscard]] ioa::Action idle_r_action();
+[[nodiscard]] ioa::Action idle_t_action();
+
+/// A_t: accepts r→t packets as inputs and reports when its last send(p) is
+/// behind it (used by the effort harness and by tests).
+class TransmitterBase : public ioa::Automaton {
+ public:
+  /// True once the automaton will never perform another send.
+  [[nodiscard]] virtual bool transmission_complete() const = 0;
+
+  [[nodiscard]] bool accepts_input(const ioa::Action& action) const override;
+};
+
+/// A_r: accepts t→r packets as inputs and exposes the output tape Y.
+class ReceiverBase : public ioa::Automaton {
+ public:
+  /// Y so far: the sequence of messages written (in write order).
+  [[nodiscard]] virtual const std::vector<ioa::Bit>& output() const = 0;
+
+  [[nodiscard]] bool accepts_input(const ioa::Action& action) const override;
+};
+
+}  // namespace rstp::protocols

@@ -1,0 +1,74 @@
+// Strawman positional-block protocol — a deliberately order-SENSITIVE
+// variant of A^β used by experiment E7 (the executable Lemma 5.1 study).
+//
+// It keeps A^β's exact send/wait rhythm (δ sends, δ waits) but encodes each
+// block positionally: with b = ⌊log2 k⌋ bits per symbol, a block of δ
+// symbols carries δ·b bits whose meaning depends on the ORDER in which the
+// packets arrive. Under a FIFO environment it works and even carries more
+// bits per block than A^β; under the adversarial batch policy — which
+// delivers each window as a canonically-ordered batch, exactly the adversary
+// from the lower-bound proofs — the arrival order is destroyed and the
+// output is corrupted while A^β(k) still decodes perfectly.
+//
+// This contrast is the point: only the multiset content of a δ-window is
+// information the receiver can rely on, which is precisely why μ_k(δ) (and
+// not k^δ) appears in the paper's bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rstp/protocols/base.h"
+
+namespace rstp::protocols {
+
+class StrawmanTransmitter final : public TransmitterBase {
+ public:
+  explicit StrawmanTransmitter(ProtocolConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::optional<ioa::Action> enabled_local() const override;
+  void apply(const ioa::Action& action) override;
+  [[nodiscard]] bool quiescent() const override;
+  [[nodiscard]] bool transmission_complete() const override;
+  [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::unique_ptr<ioa::Automaton> clone() const override;
+
+  [[nodiscard]] std::int64_t block_size() const { return delta_; }
+  [[nodiscard]] std::size_t bits_per_block() const { return bits_per_block_; }
+
+ private:
+  std::string name_;
+  std::vector<std::uint32_t> stream_;  // positional symbols, block-aligned
+  std::int64_t delta_ = 0;
+  std::size_t bits_per_symbol_ = 0;
+  std::size_t bits_per_block_ = 0;
+  std::size_t i_ = 0;
+  std::int64_t c_ = 0;
+};
+
+class StrawmanReceiver final : public ReceiverBase {
+ public:
+  explicit StrawmanReceiver(ProtocolConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::optional<ioa::Action> enabled_local() const override;
+  void apply(const ioa::Action& action) override;
+  [[nodiscard]] bool quiescent() const override;
+  [[nodiscard]] const std::vector<ioa::Bit>& output() const override { return written_; }
+  [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::unique_ptr<ioa::Automaton> clone() const override;
+
+ private:
+  std::string name_;
+  std::vector<std::uint32_t> arrivals_;  // current block, in ARRIVAL order
+  std::vector<ioa::Bit> decoded_;
+  std::vector<ioa::Bit> written_;
+  std::uint32_t k_ = 2;
+  std::int64_t delta_ = 0;
+  std::size_t bits_per_symbol_ = 0;
+  std::size_t target_length_ = 0;
+};
+
+}  // namespace rstp::protocols

@@ -1,0 +1,106 @@
+// The execution engine: produces one timed execution of A_t ∘ C(P) ∘ A_r
+// inside good(A) (paper §4).
+//
+// The simulator owns the interleaving semantics:
+//   * Each process takes local steps at instants chosen by its StepScheduler;
+//     every returned offset/gap is validated against [0,c2] / [c1,c2], so all
+//     generated executions satisfy Σ(A_t, A_r) by construction.
+//   * recv events fire at the channel's delivery instants (inputs to the
+//     destination process; they do not consume a process step).
+//   * Simultaneous events are ordered deterministically: deliveries first,
+//     then the transmitter's step, then the receiver's step. Within a batch
+//     of simultaneous deliveries the channel's (order_key, send_seq) order
+//     applies. This tie rule is the discrete stand-in for the continuous
+//     model's measure-zero coincidences; the verifier does not rely on it.
+//   * A process whose automaton has no enabled local action is stopped (the
+//     execution restricted to it is finite and fair); it resumes stepping if
+//     a later input re-enables it.
+//
+// Fault injection: `drop_every_nth` silently discards every n-th send before
+// it reaches the channel — deliberately *outside* the paper's model — to
+// demonstrate (in tests) that the protocols are exactly as strong as the
+// model's guarantees and that the verifier flags such executions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rstp/channel/channel.h"
+#include "rstp/core/params.h"
+#include "rstp/ioa/automaton.h"
+#include "rstp/ioa/trace.h"
+#include "rstp/sim/scheduler.h"
+
+namespace rstp::sim {
+
+struct SimConfig {
+  core::TimingParams params{};
+  /// Per-process step-gap laws (the paper's §7 generalization where each
+  /// process has its own c1, c2). Unset means `params` applies to both.
+  /// Only c1/c2 of the overrides are used; d always comes from `params`.
+  std::optional<core::TimingParams> transmitter_params;
+  std::optional<core::TimingParams> receiver_params;
+  /// Hard cap on applied actions; a run that hits it reports quiescent=false.
+  std::uint64_t max_events = 10'000'000;
+  /// Record the full timed trace (disable for very long effort runs).
+  bool record_trace = true;
+  /// Fault injection: if nonzero, every n-th send (1-based count) is dropped.
+  std::uint32_t drop_every_nth = 0;
+  /// Optional observer invoked after every applied event (deliveries and
+  /// local steps alike), in execution order. Lets tests check protocol
+  /// invariants at every intermediate state rather than post-hoc; throwing
+  /// from it aborts the run with the exception.
+  std::function<void(const ioa::TimedEvent&)> observer;
+};
+
+struct RunResult {
+  ioa::TimedTrace trace;                          ///< empty when !record_trace
+  std::vector<ioa::Bit> output;                   ///< Y: messages written, in order
+  std::optional<Time> last_transmitter_send;      ///< t(last-send) for effort
+  Time end_time{};                                ///< time of the last event
+  std::uint64_t event_count = 0;
+  std::uint64_t transmitter_steps = 0;
+  std::uint64_t receiver_steps = 0;
+  std::uint64_t transmitter_sends = 0;
+  std::uint64_t receiver_sends = 0;
+  std::uint64_t dropped_packets = 0;
+  bool quiescent = false;  ///< true iff the run ended in global quiescence
+};
+
+class Simulator {
+ public:
+  /// All references must outlive run(). The channel must be empty and the
+  /// automata in their start states; run() may be called once.
+  Simulator(ioa::Automaton& transmitter, ioa::Automaton& receiver, channel::Channel& chan,
+            StepScheduler& transmitter_sched, StepScheduler& receiver_sched, SimConfig config);
+
+  /// Runs to global quiescence (both processes stopped or quiescent with no
+  /// pending work and the channel empty) or to the event cap.
+  [[nodiscard]] RunResult run();
+
+ private:
+  struct ProcessState {
+    ioa::Automaton* automaton = nullptr;
+    StepScheduler* scheduler = nullptr;
+    Time next_step{};
+    std::uint64_t steps_taken = 0;
+    bool stopped = false;
+  };
+
+  void record(RunResult& result, Time time, ioa::Actor actor, const ioa::Action& action);
+  void take_process_step(RunResult& result, ProcessState& ps, ioa::ProcessId id);
+  void deliver_due(RunResult& result, Time now);
+  [[nodiscard]] Duration validated_gap(ioa::ProcessId id, StepScheduler& sched,
+                                       std::uint64_t step_index) const;
+  [[nodiscard]] const core::TimingParams& params_for(ioa::ProcessId id) const;
+
+  channel::Channel* channel_;
+  SimConfig config_;
+  ProcessState procs_[2];  // indexed by ProcessId
+  std::uint64_t next_seq_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace rstp::sim

@@ -1,0 +1,13 @@
+#include "rstp/ioa/automaton.h"
+
+namespace rstp::ioa {
+
+std::optional<Action> step_local(Automaton& a) {
+  std::optional<Action> action = a.enabled_local();
+  if (action.has_value()) {
+    a.apply(*action);
+  }
+  return action;
+}
+
+}  // namespace rstp::ioa

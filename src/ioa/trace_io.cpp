@@ -1,0 +1,137 @@
+#include "rstp/ioa/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "rstp/common/check.h"
+
+namespace rstp::ioa {
+
+namespace {
+
+const char* actor_token(Actor a) {
+  switch (a) {
+    case Actor::Transmitter:
+      return "t";
+    case Actor::Receiver:
+      return "r";
+    case Actor::Channel:
+      return "c";
+  }
+  return "?";
+}
+
+Actor parse_actor(const std::string& token) {
+  if (token == "t") return Actor::Transmitter;
+  if (token == "r") return Actor::Receiver;
+  if (token == "c") return Actor::Channel;
+  throw ModelError("trace parse: unknown actor '" + token + "'");
+}
+
+const char* direction_token(Packet::Direction d) {
+  return d == Packet::Direction::TransmitterToReceiver ? "tr" : "rt";
+}
+
+Packet::Direction parse_direction(const std::string& token) {
+  if (token == "tr") return Packet::Direction::TransmitterToReceiver;
+  if (token == "rt") return Packet::Direction::ReceiverToTransmitter;
+  throw ModelError("trace parse: unknown direction '" + token + "'");
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const TimedTrace& trace) {
+  os << "# rstp timed trace, " << trace.size() << " events\n";
+  for (const TimedEvent& e : trace.events()) {
+    os << e.seq << ' ' << e.time.ticks() << ' ' << actor_token(e.actor) << ' ';
+    switch (e.action.kind) {
+      case ActionKind::Send:
+        os << "send " << direction_token(e.action.packet.direction) << ' '
+           << e.action.packet.payload;
+        break;
+      case ActionKind::Recv:
+        os << "recv " << direction_token(e.action.packet.direction) << ' '
+           << e.action.packet.payload;
+        break;
+      case ActionKind::Write:
+        os << "write " << static_cast<int>(e.action.message);
+        break;
+      case ActionKind::Internal:
+        os << "internal " << e.action.internal_id;
+        if (!e.action.internal_name.empty()) {
+          os << ' ' << e.action.internal_name;
+        }
+        break;
+    }
+    os << '\n';
+  }
+}
+
+std::string trace_to_string(const TimedTrace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+TimedTrace parse_trace(std::istream& is) {
+  TimedTrace trace;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields{line};
+    std::uint64_t seq = 0;
+    std::int64_t time_ticks = 0;
+    std::string actor_text;
+    std::string kind;
+    if (!(fields >> seq >> time_ticks >> actor_text >> kind)) {
+      throw ModelError("trace parse: malformed line " + std::to_string(line_number));
+    }
+    TimedEvent event;
+    event.seq = seq;
+    event.time = Time{time_ticks};
+    event.actor = parse_actor(actor_text);
+    if (kind == "send" || kind == "recv") {
+      std::string dir;
+      std::uint32_t payload = 0;
+      if (!(fields >> dir >> payload)) {
+        throw ModelError("trace parse: malformed packet on line " + std::to_string(line_number));
+      }
+      const Packet packet{parse_direction(dir), payload};
+      event.action = kind == "send" ? Action::send(packet) : Action::recv(packet);
+    } else if (kind == "write") {
+      int bit = 0;
+      if (!(fields >> bit) || (bit != 0 && bit != 1)) {
+        throw ModelError("trace parse: malformed write on line " + std::to_string(line_number));
+      }
+      event.action = Action::write(static_cast<Bit>(bit));
+    } else if (kind == "internal") {
+      std::uint16_t id = 0;
+      if (!(fields >> id)) {
+        throw ModelError("trace parse: malformed internal on line " +
+                         std::to_string(line_number));
+      }
+      // The optional trailing name is debug-only; identity is the id.
+      event.action = Action::internal(id, {});
+    } else {
+      throw ModelError("trace parse: unknown action kind '" + kind + "' on line " +
+                       std::to_string(line_number));
+    }
+    try {
+      trace.append(event);
+    } catch (const ContractViolation&) {
+      throw ModelError("trace parse: non-monotone event order at line " +
+                       std::to_string(line_number));
+    }
+  }
+  return trace;
+}
+
+TimedTrace parse_trace_string(const std::string& text) {
+  std::istringstream is{text};
+  return parse_trace(is);
+}
+
+}  // namespace rstp::ioa

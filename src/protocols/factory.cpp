@@ -1,0 +1,78 @@
+#include "rstp/protocols/factory.h"
+
+#include <ostream>
+
+#include "rstp/common/check.h"
+#include "rstp/protocols/alpha.h"
+#include "rstp/protocols/altbit.h"
+#include "rstp/protocols/beta.h"
+#include "rstp/protocols/gamma.h"
+#include "rstp/protocols/gamma_windowed.h"
+#include "rstp/protocols/indexed.h"
+#include "rstp/protocols/strawman.h"
+
+namespace rstp::protocols {
+
+std::string_view to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::Alpha:
+      return "alpha";
+    case ProtocolKind::Beta:
+      return "beta";
+    case ProtocolKind::Gamma:
+      return "gamma";
+    case ProtocolKind::AltBit:
+      return "altbit";
+    case ProtocolKind::Strawman:
+      return "strawman";
+    case ProtocolKind::Indexed:
+      return "indexed";
+    case ProtocolKind::WindowedGamma:
+      return "gammaw";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, ProtocolKind kind) { return os << to_string(kind); }
+
+bool is_r_passive(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::Alpha:
+    case ProtocolKind::Beta:
+    case ProtocolKind::Strawman:
+    case ProtocolKind::Indexed:
+      return true;
+    case ProtocolKind::Gamma:
+    case ProtocolKind::AltBit:
+    case ProtocolKind::WindowedGamma:
+      return false;
+  }
+  RSTP_UNREACHABLE("unknown protocol kind");
+}
+
+ProtocolInstance make_protocol(ProtocolKind kind, const ProtocolConfig& config) {
+  config.validate();
+  switch (kind) {
+    case ProtocolKind::Alpha:
+      return {std::make_unique<AlphaTransmitter>(config), std::make_unique<AlphaReceiver>(config)};
+    case ProtocolKind::Beta:
+      return {std::make_unique<BetaTransmitter>(config), std::make_unique<BetaReceiver>(config)};
+    case ProtocolKind::Gamma:
+      return {std::make_unique<GammaTransmitter>(config), std::make_unique<GammaReceiver>(config)};
+    case ProtocolKind::AltBit:
+      return {std::make_unique<AltBitTransmitter>(config),
+              std::make_unique<AltBitReceiver>(config)};
+    case ProtocolKind::Strawman:
+      return {std::make_unique<StrawmanTransmitter>(config),
+              std::make_unique<StrawmanReceiver>(config)};
+    case ProtocolKind::Indexed:
+      return {std::make_unique<IndexedTransmitter>(config),
+              std::make_unique<IndexedReceiver>(config)};
+    case ProtocolKind::WindowedGamma:
+      return {std::make_unique<WindowedGammaTransmitter>(config),
+              std::make_unique<WindowedGammaReceiver>(config)};
+  }
+  RSTP_UNREACHABLE("unknown protocol kind");
+}
+
+}  // namespace rstp::protocols

@@ -1,0 +1,35 @@
+#include "rstp/protocols/base.h"
+
+#include "rstp/common/check.h"
+
+namespace rstp::protocols {
+
+void ProtocolConfig::validate() const {
+  params.validate();
+  RSTP_CHECK_GE(k, 2u, "packet alphabet must have at least two symbols");
+  if (block_size_override.has_value()) {
+    RSTP_CHECK_GE(*block_size_override, 1u, "block size override must be positive");
+  }
+  if (wait_steps_override.has_value()) {
+    RSTP_CHECK_GE(*wait_steps_override, 1u, "wait steps override must be positive");
+  }
+  for (ioa::Bit b : input) {
+    RSTP_CHECK(b == 0 || b == 1, "input sequence must be binary");
+  }
+}
+
+ioa::Action wait_t_action() { return ioa::Action::internal(kWaitT, "wait_t"); }
+ioa::Action idle_r_action() { return ioa::Action::internal(kIdleR, "idle_r"); }
+ioa::Action idle_t_action() { return ioa::Action::internal(kIdleT, "idle_t"); }
+
+bool TransmitterBase::accepts_input(const ioa::Action& action) const {
+  return action.kind == ioa::ActionKind::Recv &&
+         action.packet.direction == ioa::Packet::Direction::ReceiverToTransmitter;
+}
+
+bool ReceiverBase::accepts_input(const ioa::Action& action) const {
+  return action.kind == ioa::ActionKind::Recv &&
+         action.packet.direction == ioa::Packet::Direction::TransmitterToReceiver;
+}
+
+}  // namespace rstp::protocols

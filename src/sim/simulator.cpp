@@ -1,0 +1,180 @@
+#include "rstp/sim/simulator.h"
+
+#include <sstream>
+
+#include "rstp/common/check.h"
+
+namespace rstp::sim {
+
+namespace {
+
+using ioa::Action;
+using ioa::ActionKind;
+using ioa::Actor;
+using ioa::ProcessId;
+
+[[nodiscard]] std::size_t index_of(ProcessId id) { return static_cast<std::size_t>(id); }
+
+}  // namespace
+
+Simulator::Simulator(ioa::Automaton& transmitter, ioa::Automaton& receiver,
+                     channel::Channel& chan, StepScheduler& transmitter_sched,
+                     StepScheduler& receiver_sched, SimConfig config)
+    : channel_(&chan), config_(config) {
+  config_.params.validate();
+  if (config_.transmitter_params.has_value()) config_.transmitter_params->validate();
+  if (config_.receiver_params.has_value()) config_.receiver_params->validate();
+  RSTP_CHECK(chan.empty(), "simulator requires an initially empty channel");
+  RSTP_CHECK_EQ(chan.max_delay().ticks(), config_.params.d.ticks(),
+                "channel delay bound must equal the model's d");
+  procs_[index_of(ProcessId::Transmitter)] = ProcessState{&transmitter, &transmitter_sched};
+  procs_[index_of(ProcessId::Receiver)] = ProcessState{&receiver, &receiver_sched};
+}
+
+const core::TimingParams& Simulator::params_for(ProcessId id) const {
+  if (id == ProcessId::Transmitter && config_.transmitter_params.has_value()) {
+    return *config_.transmitter_params;
+  }
+  if (id == ProcessId::Receiver && config_.receiver_params.has_value()) {
+    return *config_.receiver_params;
+  }
+  return config_.params;
+}
+
+Duration Simulator::validated_gap(ProcessId id, StepScheduler& sched,
+                                  std::uint64_t step_index) const {
+  const core::TimingParams& params = params_for(id);
+  if (step_index == 0) {
+    const Duration first = sched.first_offset();
+    if (first.is_negative() || first > params.c2) {
+      std::ostringstream os;
+      os << "scheduler first offset " << first << " outside [0, c2=" << params.c2 << "]";
+      throw ModelError(os.str());
+    }
+    return first;
+  }
+  const Duration gap = sched.next_gap(step_index);
+  if (gap < params.c1 || gap > params.c2) {
+    std::ostringstream os;
+    os << "scheduler gap " << gap << " outside [c1=" << params.c1 << ", c2=" << params.c2 << "]";
+    throw ModelError(os.str());
+  }
+  return gap;
+}
+
+void Simulator::record(RunResult& result, Time time, Actor actor, const Action& action) {
+  ++result.event_count;
+  result.end_time = time;
+  if (action.kind == ActionKind::Write) {
+    result.output.push_back(action.message);
+  }
+  if (config_.record_trace || config_.observer) {
+    const ioa::TimedEvent event{time, actor, action, next_seq_};
+    if (config_.record_trace) {
+      result.trace.append(event);
+    }
+    if (config_.observer) {
+      config_.observer(event);
+    }
+  }
+  ++next_seq_;
+}
+
+void Simulator::deliver_due(RunResult& result, Time now) {
+  for (const channel::InFlightPacket& flight : channel_->collect_due(now)) {
+    ioa::Automaton& dest = *procs_[index_of(flight.packet.destination())].automaton;
+    const Action recv = Action::recv(flight.packet);
+    RSTP_CHECK(dest.accepts_input(recv), "delivered packet not an input of its destination");
+    dest.apply(recv);
+    record(result, flight.deliver_at, Actor::Channel, recv);
+    // A stopped process can be re-enabled by input; let it resume stepping.
+    ProcessState& ps = procs_[index_of(flight.packet.destination())];
+    if (ps.stopped && ps.automaton->enabled_local().has_value()) {
+      ps.stopped = false;
+      ps.next_step = flight.deliver_at +
+                     validated_gap(flight.packet.destination(), *ps.scheduler, ps.steps_taken + 1);
+    }
+  }
+}
+
+void Simulator::take_process_step(RunResult& result, ProcessState& ps, ProcessId id) {
+  const std::optional<Action> action = ps.automaton->enabled_local();
+  if (!action.has_value()) {
+    ps.stopped = true;
+    return;
+  }
+  ps.automaton->apply(*action);
+  ++ps.steps_taken;
+  if (id == ProcessId::Transmitter) {
+    ++result.transmitter_steps;
+  } else {
+    ++result.receiver_steps;
+  }
+  record(result, ps.next_step, ioa::actor_of(id), *action);
+
+  if (action->kind == ActionKind::Send) {
+    RSTP_CHECK_EQ(static_cast<int>(action->packet.source()), static_cast<int>(id),
+                  "automaton sent a packet with the wrong direction tag");
+    if (id == ProcessId::Transmitter) {
+      ++result.transmitter_sends;
+      result.last_transmitter_send = ps.next_step;
+    } else {
+      ++result.receiver_sends;
+    }
+    const std::uint64_t send_count = result.transmitter_sends + result.receiver_sends;
+    if (config_.drop_every_nth != 0 && send_count % config_.drop_every_nth == 0) {
+      ++result.dropped_packets;  // fault injection: packet lost outside the model
+    } else {
+      channel_->send(action->packet, ps.next_step);
+    }
+  }
+  ps.next_step = ps.next_step + validated_gap(id, *ps.scheduler, ps.steps_taken);
+}
+
+RunResult Simulator::run() {
+  RSTP_CHECK(!ran_, "Simulator::run may be called once");
+  ran_ = true;
+
+  RunResult result;
+  ProcessState& t = procs_[index_of(ProcessId::Transmitter)];
+  ProcessState& r = procs_[index_of(ProcessId::Receiver)];
+  t.next_step = Time::zero() + validated_gap(ProcessId::Transmitter, *t.scheduler, 0);
+  r.next_step = Time::zero() + validated_gap(ProcessId::Receiver, *r.scheduler, 0);
+
+  while (result.event_count < config_.max_events) {
+    // Global quiescence: nothing in flight and both processes have nothing
+    // (non-trivial) left to do.
+    const bool t_idle = t.stopped || t.automaton->quiescent();
+    const bool r_idle = r.stopped || r.automaton->quiescent();
+    if (channel_->empty() && t_idle && r_idle) {
+      result.quiescent = true;
+      break;
+    }
+
+    // Earliest pending instant among deliveries and process steps; at equal
+    // times deliveries go first, then the transmitter, then the receiver.
+    const std::optional<Time> delivery = channel_->next_delivery_time();
+    Time now = Time::max();
+    if (delivery.has_value()) now = std::min(now, *delivery);
+    if (!t.stopped) now = std::min(now, t.next_step);
+    if (!r.stopped) now = std::min(now, r.next_step);
+    RSTP_CHECK(now != Time::max(), "no pending events but not quiescent");
+
+    if (delivery.has_value() && *delivery <= now) {
+      deliver_due(result, now);
+      continue;
+    }
+    if (!t.stopped && t.next_step <= now) {
+      take_process_step(result, t, ProcessId::Transmitter);
+      continue;
+    }
+    if (!r.stopped && r.next_step <= now) {
+      take_process_step(result, r, ProcessId::Receiver);
+      continue;
+    }
+    RSTP_UNREACHABLE("event selection failed");
+  }
+  return result;
+}
+
+}  // namespace rstp::sim

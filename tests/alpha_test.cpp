@@ -1,0 +1,180 @@
+// Tests for A^α (paper §4, Figure 1): the simple r-passive solution.
+#include "rstp/protocols/alpha.h"
+
+#include <gtest/gtest.h>
+
+#include "rstp/channel/policies.h"
+#include "rstp/common/check.h"
+#include "rstp/core/effort.h"
+#include "rstp/core/verify.h"
+#include "rstp/sim/simulator.h"
+
+namespace rstp::protocols {
+namespace {
+
+using core::Environment;
+using ioa::Action;
+using ioa::ActionKind;
+using ioa::Bit;
+using ioa::Packet;
+
+ProtocolConfig config_for(std::vector<Bit> input, std::int64_t c1 = 1, std::int64_t c2 = 2,
+                          std::int64_t d = 4) {
+  ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(c1, c2, d);
+  cfg.k = 2;
+  cfg.input = std::move(input);
+  return cfg;
+}
+
+TEST(AlphaTransmitter, FollowsFigureOneStateMachine) {
+  // c1=1, d=4 → ⌈d/c1⌉ = 4 steps per message: send, wait, wait, wait.
+  AlphaTransmitter t{config_for({1, 0})};
+  EXPECT_EQ(t.steps_per_message(), 4);
+
+  auto a = t.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Action::send(Packet::to_receiver(1)));
+  t.apply(*a);
+  for (int w = 0; w < 3; ++w) {
+    a = t.enabled_local();
+    ASSERT_TRUE(a.has_value()) << "wait step " << w;
+    EXPECT_EQ(a->kind, ActionKind::Internal);
+    t.apply(*a);
+  }
+  a = t.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Action::send(Packet::to_receiver(0)));  // second message
+  t.apply(*a);
+  EXPECT_TRUE(t.transmission_complete());
+  for (int w = 0; w < 3; ++w) {
+    a = t.enabled_local();
+    ASSERT_TRUE(a.has_value());
+    t.apply(*a);
+  }
+  EXPECT_FALSE(t.enabled_local().has_value()) << "stopped after the final wait cycle";
+  EXPECT_TRUE(t.quiescent());
+}
+
+TEST(AlphaTransmitter, DegenerateWaitOfOneStep) {
+  // c1 = d → ⌈d/c1⌉ = 1: each send immediately unlocks the next message.
+  AlphaTransmitter t{config_for({1, 1, 0}, /*c1=*/4, /*c2=*/4, /*d=*/4)};
+  EXPECT_EQ(t.steps_per_message(), 1);
+  for (int i = 0; i < 3; ++i) {
+    const auto a = t.enabled_local();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->kind, ActionKind::Send);
+    t.apply(*a);
+  }
+  EXPECT_FALSE(t.enabled_local().has_value());
+}
+
+TEST(AlphaTransmitter, EmptyInputStopsImmediately) {
+  AlphaTransmitter t{config_for({})};
+  EXPECT_FALSE(t.enabled_local().has_value());
+  EXPECT_TRUE(t.quiescent());
+  EXPECT_TRUE(t.transmission_complete());
+}
+
+TEST(AlphaTransmitter, RejectsNonEnabledActions) {
+  AlphaTransmitter t{config_for({1})};
+  EXPECT_THROW(t.apply(Action::send(Packet::to_receiver(0))), ContractViolation);  // wrong bit
+  EXPECT_THROW(t.apply(Action::write(1)), ContractViolation);
+}
+
+TEST(AlphaReceiver, WritesInArrivalOrderOnePerStep) {
+  AlphaReceiver r{config_for({})};
+  // Initially idle.
+  auto a = r.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, ActionKind::Internal);
+  // Two packets arrive back-to-back (inputs, no step consumed).
+  r.apply(Action::recv(Packet::to_receiver(1)));
+  r.apply(Action::recv(Packet::to_receiver(0)));
+  EXPECT_FALSE(r.quiescent());
+  a = r.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Action::write(1));
+  r.apply(*a);
+  a = r.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Action::write(0));
+  r.apply(*a);
+  EXPECT_TRUE(r.quiescent());
+  EXPECT_EQ(r.output(), (std::vector<Bit>{1, 0}));
+}
+
+TEST(AlphaReceiver, RejectsNonBinaryPackets) {
+  AlphaReceiver r{config_for({})};
+  EXPECT_THROW(r.apply(Action::recv(Packet::to_receiver(2))), ContractViolation);
+}
+
+TEST(AlphaEndToEnd, CorrectUnderWorstCase) {
+  const auto input = core::make_random_input(64, 1);
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::Alpha, config_for(input), Environment::worst_case());
+  EXPECT_TRUE(run.result.quiescent);
+  EXPECT_TRUE(run.output_correct);
+  const auto verdict = core::verify_trace(run.result.trace, config_for(input).params, input);
+  EXPECT_TRUE(verdict.ok()) << verdict;
+}
+
+TEST(AlphaEndToEnd, EffortMatchesClosedForm) {
+  // Worst case: ⌈d/c1⌉ steps of c2 each per message → effort = 4·2 = 8.
+  const auto params = core::TimingParams::make(1, 2, 4);
+  const auto m =
+      core::measure_effort(ProtocolKind::Alpha, params, 2, 256, Environment::worst_case());
+  EXPECT_TRUE(m.output_correct);
+  ASSERT_TRUE(m.last_send.has_value());
+  // t(last send) = (n-1) messages × 8 ticks (first send at t=0).
+  EXPECT_EQ((*m.last_send - Time::zero()).ticks(), (256 - 1) * 8);
+  EXPECT_NEAR(m.effort, 8.0, 8.0 / 256 + 1e-9);  // → d·c2/c1 as n→∞
+}
+
+TEST(AlphaEndToEnd, InOrderDeliveryEvenWithMaxDelay) {
+  // Packets are ≥ d apart, so even max-delay delivery preserves order.
+  const auto input = core::make_alternating_input(32);
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::Alpha, config_for(input), Environment::worst_case());
+  EXPECT_TRUE(run.output_correct);
+}
+
+TEST(AlphaEndToEnd, CorrectUnderRandomizedEnvironments) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto input = core::make_random_input(40, seed);
+    const core::ProtocolRun run = core::run_protocol(ProtocolKind::Alpha, config_for(input),
+                                                     Environment::randomized(seed));
+    EXPECT_TRUE(run.output_correct) << "seed " << seed;
+    const auto verdict = core::verify_trace(run.result.trace, config_for(input).params, input);
+    EXPECT_TRUE(verdict.ok()) << "seed " << seed << '\n' << verdict;
+  }
+}
+
+TEST(AlphaEndToEnd, SingleBitMessage) {
+  const std::vector<Bit> input = {1};
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::Alpha, config_for(input), Environment::worst_case());
+  EXPECT_TRUE(run.output_correct);
+  EXPECT_EQ(run.result.transmitter_sends, 1u);
+}
+
+TEST(AlphaEndToEnd, EmptyMessage) {
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::Alpha, config_for({}), Environment::worst_case());
+  EXPECT_TRUE(run.output_correct);
+  EXPECT_EQ(run.result.transmitter_sends, 0u);
+  EXPECT_TRUE(run.result.quiescent);
+}
+
+TEST(AlphaClone, SnapshotAndCloneAgree) {
+  AlphaTransmitter t{config_for({1, 0, 1})};
+  t.apply(*t.enabled_local());
+  const auto copy = t.clone();
+  EXPECT_EQ(copy->snapshot(), t.snapshot());
+  // Advancing the copy must not affect the original.
+  copy->apply(*copy->enabled_local());
+  EXPECT_NE(copy->snapshot(), t.snapshot());
+}
+
+}  // namespace
+}  // namespace rstp::protocols

@@ -1,0 +1,133 @@
+// Tests for the stop-and-wait / alternating-bit baseline ([BSW69]).
+#include "rstp/protocols/altbit.h"
+
+#include <gtest/gtest.h>
+
+#include "rstp/common/check.h"
+#include "rstp/core/bounds.h"
+#include "rstp/core/effort.h"
+#include "rstp/core/verify.h"
+
+namespace rstp::protocols {
+namespace {
+
+using core::Environment;
+using ioa::Action;
+using ioa::ActionKind;
+using ioa::Bit;
+using ioa::Packet;
+
+ProtocolConfig config_for(std::vector<Bit> input, std::int64_t c1 = 1, std::int64_t c2 = 2,
+                          std::int64_t d = 5) {
+  ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(c1, c2, d);
+  cfg.k = 4;  // data payloads are bit|(seq<<1) ∈ {0..3}
+  cfg.input = std::move(input);
+  return cfg;
+}
+
+TEST(AltBitTransmitter, SendAwaitCycleWithAlternatingSeq) {
+  AltBitTransmitter t{config_for({1, 0})};
+  // Message 0: bit 1, seq 0 → payload 0b01 = 1.
+  auto a = t.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Action::send(Packet::to_receiver(1)));
+  t.apply(*a);
+  EXPECT_EQ(t.enabled_local()->kind, ActionKind::Internal);  // awaiting ack
+  t.apply(Action::recv(Packet::to_transmitter(0)));          // ack seq 0
+  // Message 1: bit 0, seq 1 → payload 0b10 = 2.
+  a = t.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Action::send(Packet::to_receiver(2)));
+  t.apply(*a);
+  t.apply(Action::recv(Packet::to_transmitter(1)));  // ack seq 1
+  EXPECT_FALSE(t.enabled_local().has_value());
+  EXPECT_TRUE(t.quiescent());
+}
+
+TEST(AltBitTransmitter, WrongSeqAckIsContractViolation) {
+  AltBitTransmitter t{config_for({1})};
+  t.apply(*t.enabled_local());  // send (seq 0)
+  EXPECT_THROW(t.apply(Action::recv(Packet::to_transmitter(1))), ContractViolation);
+}
+
+TEST(AltBitTransmitter, UnexpectedAckIsContractViolation) {
+  AltBitTransmitter t{config_for({1})};
+  // No outstanding message yet.
+  EXPECT_THROW(t.apply(Action::recv(Packet::to_transmitter(0))), ContractViolation);
+}
+
+TEST(AltBitReceiver, AcceptsAndAcksEachMessage) {
+  AltBitReceiver r{config_for({})};
+  r.apply(Action::recv(Packet::to_receiver(0b01)));  // bit 1, seq 0
+  // Ack comes before the write.
+  auto a = r.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Action::send(Packet::to_transmitter(0)));
+  r.apply(*a);
+  a = r.enabled_local();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Action::write(1));
+  r.apply(*a);
+  EXPECT_TRUE(r.quiescent());
+  r.apply(Action::recv(Packet::to_receiver(0b10)));  // bit 0, seq 1
+  EXPECT_EQ(r.enabled_local()->kind, ActionKind::Send);
+}
+
+TEST(AltBitReceiver, SeqViolationDetected) {
+  AltBitReceiver r{config_for({})};
+  // First message must carry seq 0; seq 1 indicates a model violation.
+  EXPECT_THROW(r.apply(Action::recv(Packet::to_receiver(0b10))), ContractViolation);
+}
+
+TEST(AltBitEndToEnd, CorrectAcrossEnvironments) {
+  const auto input = core::make_random_input(30, 3);
+  for (const auto& env : {Environment::worst_case(), Environment::randomized(5)}) {
+    const auto cfg = config_for(input);
+    const core::ProtocolRun run = core::run_protocol(ProtocolKind::AltBit, cfg, env);
+    EXPECT_TRUE(run.result.quiescent);
+    EXPECT_TRUE(run.output_correct);
+    const auto verdict = core::verify_trace(run.result.trace, cfg.params, input);
+    EXPECT_TRUE(verdict.ok()) << verdict;
+  }
+}
+
+TEST(AltBitEndToEnd, OneRoundTripPerBit) {
+  const auto params = core::TimingParams::make(1, 2, 5);
+  const core::BoundsReport bounds = core::compute_bounds(params, 4);
+  const auto m =
+      core::measure_effort(ProtocolKind::AltBit, params, 4, 128, Environment::worst_case());
+  EXPECT_TRUE(m.output_correct);
+  EXPECT_EQ(m.transmitter_sends, 128u) << "exactly one data packet per bit";
+  EXPECT_LE(m.effort, bounds.altbit_upper * (1.0 + 1e-9));
+  // Effort must be at least one full round trip (2d) per bit.
+  EXPECT_GE(m.effort, 2.0 * static_cast<double>(params.d.ticks()) * 0.9);
+}
+
+TEST(AltBitEndToEnd, GammaBeatsAltBitByAboutBitsPerBlock) {
+  const auto params = core::TimingParams::make(1, 2, 8);
+  const core::BoundsReport bounds = core::compute_bounds(params, 8);
+  const auto alt =
+      core::measure_effort(ProtocolKind::AltBit, params, 8, 256, Environment::worst_case());
+  const auto gamma =
+      core::measure_effort(ProtocolKind::Gamma, params, 8, 256, Environment::worst_case());
+  ASSERT_TRUE(alt.output_correct);
+  ASSERT_TRUE(gamma.output_correct);
+  EXPECT_LT(gamma.effort, alt.effort);
+  // The win factor is on the order of B = bits per block (within 3x slack).
+  const double factor = alt.effort / gamma.effort;
+  const auto B = static_cast<double>(bounds.gamma_bits_per_block);
+  EXPECT_GT(factor, B / 3.0);
+}
+
+TEST(AltBitEndToEnd, SingleBit) {
+  const std::vector<Bit> input = {0};
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::AltBit, config_for(input), Environment::worst_case());
+  EXPECT_TRUE(run.output_correct);
+  EXPECT_EQ(run.result.transmitter_sends, 1u);
+  EXPECT_EQ(run.result.receiver_sends, 1u);
+}
+
+}  // namespace
+}  // namespace rstp::protocols

@@ -1,0 +1,166 @@
+// Tests for BlockCoder — the constructive toseq ∘ tomulti encoding (§6.1).
+#include "rstp/combinatorics/block_coder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rstp/combinatorics/binomial.h"
+#include "rstp/common/check.h"
+#include "rstp/common/rng.h"
+
+namespace rstp::combinatorics {
+namespace {
+
+TEST(BlockCoder, ParametersMatchTheory) {
+  const BlockCoder coder{4, 5};
+  EXPECT_EQ(coder.alphabet(), 4u);
+  EXPECT_EQ(coder.packets_per_block(), 5u);
+  // μ_4(5) = C(8,3) = 56 → ⌊log2 56⌋ = 5 bits per block.
+  EXPECT_EQ(coder.bits_per_block(), 5u);
+}
+
+TEST(BlockCoder, RejectsDegenerateParameters) {
+  EXPECT_THROW((BlockCoder{1, 5}), ContractViolation);   // k < 2
+  EXPECT_THROW((BlockCoder{2, 0}), ContractViolation);   // no packets per block
+}
+
+TEST(BlockCoder, EncodeDecodeRoundTripExhaustiveSmall) {
+  const BlockCoder coder{3, 4};  // μ_3(4)=15 → 3 bits
+  ASSERT_EQ(coder.bits_per_block(), 3u);
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    std::vector<Bit> bits = {static_cast<Bit>((v >> 2) & 1), static_cast<Bit>((v >> 1) & 1),
+                             static_cast<Bit>(v & 1)};
+    const std::vector<Symbol> block = coder.encode(bits);
+    EXPECT_EQ(block.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(block.begin(), block.end()));  // toseq is canonical
+    EXPECT_EQ(coder.decode(block), bits) << "value " << v;
+  }
+}
+
+TEST(BlockCoder, EncodingIsInjective) {
+  const BlockCoder coder{2, 6};  // μ_2(6)=7 → 2 bits
+  std::set<std::vector<Symbol>> images;
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    const std::vector<Bit> bits = {static_cast<Bit>((v >> 1) & 1), static_cast<Bit>(v & 1)};
+    images.insert(coder.encode(bits));
+  }
+  EXPECT_EQ(images.size(), 4u);
+}
+
+TEST(BlockCoder, DecodeIsOrderImmune) {
+  // The defining property: any permutation of the block decodes identically.
+  const BlockCoder coder{5, 6};
+  Rng rng{123};
+  std::vector<Bit> bits(coder.bits_per_block());
+  for (int iter = 0; iter < 50; ++iter) {
+    for (auto& b : bits) b = rng.next_bool() ? 1 : 0;
+    std::vector<Symbol> block = coder.encode(bits);
+    for (int shuffle = 0; shuffle < 10; ++shuffle) {
+      // Fisher-Yates with our deterministic rng.
+      for (std::size_t i = block.size(); i > 1; --i) {
+        std::swap(block[i - 1], block[rng.next_below(i)]);
+      }
+      EXPECT_EQ(coder.decode(block), bits);
+    }
+  }
+}
+
+TEST(BlockCoder, DecodeRejectsNonCodewords) {
+  // Ranks in [2^B, μ) are never produced by encode; decoding one is a model
+  // violation (corruption / cross-block mixing).
+  const BlockCoder coder{3, 4};  // μ=15, B=3 → ranks 8..14 invalid
+  const MultisetCodec codec{3, 4};
+  const Multiset invalid = codec.unrank(bigint::BigUint{14});
+  EXPECT_THROW((void)coder.decode(invalid), ModelError);
+}
+
+TEST(BlockCoder, DecodeRejectsWrongBlockShape) {
+  const BlockCoder coder{3, 4};
+  Multiset short_block{3};
+  short_block.add(1);
+  EXPECT_THROW((void)coder.decode(short_block), ContractViolation);
+  Multiset wrong_universe{5};
+  for (int i = 0; i < 4; ++i) wrong_universe.add(0);
+  EXPECT_THROW((void)coder.decode(wrong_universe), ContractViolation);
+}
+
+TEST(BlockCoder, EncodeRejectsWrongWidth) {
+  const BlockCoder coder{3, 4};
+  const std::vector<Bit> wrong(coder.bits_per_block() + 1, 0);
+  EXPECT_THROW((void)coder.encode(wrong), ContractViolation);
+}
+
+TEST(BlockCoder, MessagePaddingArithmetic) {
+  const BlockCoder coder{4, 5};  // B = 5
+  EXPECT_EQ(coder.blocks_for(0), 0u);
+  EXPECT_EQ(coder.blocks_for(1), 1u);
+  EXPECT_EQ(coder.blocks_for(5), 1u);
+  EXPECT_EQ(coder.blocks_for(6), 2u);
+  EXPECT_EQ(coder.padding_for(0), 0u);
+  EXPECT_EQ(coder.padding_for(5), 0u);
+  EXPECT_EQ(coder.padding_for(7), 3u);
+}
+
+TEST(BlockCoder, EncodeMessageRoundTripWithPadding) {
+  const BlockCoder coder{4, 3};  // μ_4(3)=20 → B=4
+  Rng rng{55};
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 17u, 64u}) {
+    std::vector<Bit> message(n);
+    for (auto& b : message) b = rng.next_bool() ? 1 : 0;
+    const std::vector<Symbol> stream = coder.encode_message(message);
+    EXPECT_EQ(stream.size(), coder.blocks_for(n) * coder.packets_per_block());
+    // Decode block by block; the first n bits must equal the message.
+    std::vector<Bit> recovered;
+    for (std::size_t b = 0; b * coder.packets_per_block() < stream.size(); ++b) {
+      const std::span<const Symbol> block{stream.data() + b * coder.packets_per_block(),
+                                          coder.packets_per_block()};
+      const std::vector<Bit> bits = coder.decode(block);
+      recovered.insert(recovered.end(), bits.begin(), bits.end());
+    }
+    ASSERT_GE(recovered.size(), n);
+    EXPECT_TRUE(std::equal(message.begin(), message.end(), recovered.begin()));
+    // Padding is all zeros.
+    for (std::size_t i = n; i < recovered.size(); ++i) EXPECT_EQ(recovered[i], 0);
+  }
+}
+
+TEST(BlockCoder, BitsPerBlockNeverExceedsInformationContent) {
+  for (std::uint32_t k = 2; k <= 16; k += 3) {
+    for (std::uint32_t delta = 1; delta <= 20; delta += 4) {
+      const BlockCoder coder{k, delta};
+      EXPECT_LE(static_cast<double>(coder.bits_per_block()), log2_mu(k, delta) + 1e-9);
+      EXPECT_GT(static_cast<double>(coder.bits_per_block()) + 1.0, log2_mu(k, delta) - 1e-9);
+    }
+  }
+}
+
+// Parameterized sweep: round-trips hold across the (k, δ) grid.
+class BlockCoderSweep : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(BlockCoderSweep, RandomRoundTrips) {
+  const auto [k, delta] = GetParam();
+  const BlockCoder coder{k, delta};
+  Rng rng{static_cast<std::uint64_t>(k) * 1000 + delta};
+  std::vector<Bit> bits(coder.bits_per_block());
+  for (int iter = 0; iter < 30; ++iter) {
+    for (auto& b : bits) b = rng.next_bool() ? 1 : 0;
+    const std::vector<Symbol> block = coder.encode(bits);
+    EXPECT_EQ(block.size(), delta);
+    for (Symbol s : block) EXPECT_LT(s, k);
+    EXPECT_EQ(coder.decode(block), bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BlockCoderSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u, 4u, 8u, 16u, 32u),
+                                            ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u)),
+                         [](const auto& param_info) {
+                           return "k" + std::to_string(std::get<0>(param_info.param)) + "_d" +
+                                  std::to_string(std::get<1>(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace rstp::combinatorics

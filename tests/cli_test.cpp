@@ -1,0 +1,112 @@
+// Integration tests for the rstp CLI binary (tools/rstp_cli.cpp), exercised
+// through the shell exactly as a user would. The binary path is injected by
+// CMake as RSTP_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+std::string cli() { return RSTP_CLI_PATH; }
+
+int run_command(const std::string& args, std::string* output = nullptr) {
+  const std::string tmp = ::testing::TempDir() + "/cli_out.txt";
+  const std::string command = cli() + " " + args + " > " + tmp + " 2>&1";
+  const int status = std::system(command.c_str());
+  if (output != nullptr) {
+    output->clear();
+    std::ifstream in{tmp};
+    std::string line;
+    while (std::getline(in, line)) {
+      *output += line;
+      *output += '\n';
+    }
+  }
+  return WEXITSTATUS(status);
+}
+
+TEST(Cli, BoundsPrintsTheClosedForms) {
+  std::string out;
+  EXPECT_EQ(run_command("bounds 1 2 16 8", &out), 0);
+  EXPECT_NE(out.find("delta1=16"), std::string::npos) << out;
+  EXPECT_NE(out.find("passive_lower"), std::string::npos);
+  EXPECT_NE(out.find("gamma_upper"), std::string::npos);
+}
+
+TEST(Cli, RunReportsCorrectVerifiedTransfer) {
+  std::string out;
+  EXPECT_EQ(run_command("run beta 1 2 8 8 64 --stats", &out), 0);
+  EXPECT_NE(out.find("correct:    yes"), std::string::npos) << out;
+  EXPECT_NE(out.find("accepts (in good(A))"), std::string::npos);
+  EXPECT_NE(out.find("peak in-flight"), std::string::npos);
+}
+
+TEST(Cli, RunAcceptsLiteralBitString) {
+  std::string out;
+  EXPECT_EQ(run_command("run gamma 1 2 8 4 01101001", &out), 0);
+  EXPECT_NE(out.find("input bits: 8"), std::string::npos) << out;
+  EXPECT_NE(out.find("correct:    yes"), std::string::npos);
+}
+
+TEST(Cli, RunThenVerifyRoundTrip) {
+  const std::string trace_file = ::testing::TempDir() + "/cli_trace.txt";
+  std::string out;
+  ASSERT_EQ(run_command("run alpha 1 2 4 2 10101010 --trace " + trace_file, &out), 0) << out;
+  // The saved trace verifies against the same model and output.
+  EXPECT_EQ(run_command("verify 1 2 4 " + trace_file + " 10101010", &out), 0) << out;
+  EXPECT_NE(out.find("trace OK"), std::string::npos);
+  // …and fails against the wrong expected output.
+  EXPECT_EQ(run_command("verify 1 2 4 " + trace_file + " 01010101", &out), 1);
+  EXPECT_NE(out.find("OutputNotPrefix"), std::string::npos) << out;
+  // …and against a tighter model (smaller d than the delays in the trace).
+  EXPECT_EQ(run_command("verify 1 2 3 " + trace_file + " 10101010", &out), 1);
+  EXPECT_NE(out.find("DeliveryTooLate"), std::string::npos) << out;
+  std::remove(trace_file.c_str());
+}
+
+TEST(Cli, ExploreVerifiesBetaAndRefutesStrawman) {
+  std::string out;
+  EXPECT_EQ(run_command("explore beta 2 3 0100", &out), 0);
+  EXPECT_NE(out.find("VERIFIED over all schedules"), std::string::npos) << out;
+  EXPECT_EQ(run_command("explore strawman 2 2 01000000", &out), 1);
+  EXPECT_NE(out.find("VIOLATION FOUND"), std::string::npos) << out;
+  EXPECT_NE(out.find("counterexample:"), std::string::npos);
+}
+
+TEST(Cli, AdversarialEnvironmentFlagWorks) {
+  std::string out;
+  EXPECT_EQ(run_command("run beta 1 1 8 4 64 --env adversarial", &out), 0) << out;
+  EXPECT_NE(out.find("correct:    yes"), std::string::npos);
+  EXPECT_EQ(run_command("run strawman 1 1 8 4 64 --env adversarial", &out), 1);
+  EXPECT_NE(out.find("correct:    NO"), std::string::npos) << out;
+}
+
+TEST(Cli, FastAndRandomEnvironmentsRun) {
+  std::string out;
+  EXPECT_EQ(run_command("run gamma 1 2 8 8 32 --env fast", &out), 0) << out;
+  EXPECT_NE(out.find("correct:    yes"), std::string::npos);
+  EXPECT_EQ(run_command("run gammaw 1 2 8 8 32 --env random --seed 9", &out), 0) << out;
+  EXPECT_NE(out.find("correct:    yes"), std::string::npos);
+  EXPECT_EQ(run_command("run indexed 1 2 8 4 32", &out), 0) << out;  // k auto-raised
+  EXPECT_NE(out.find("correct:    yes"), std::string::npos);
+}
+
+TEST(Cli, UsageErrorsExitWithTwo) {
+  std::string out;
+  EXPECT_EQ(run_command("", &out), 2);
+  EXPECT_EQ(run_command("frobnicate", &out), 2);
+  EXPECT_EQ(run_command("run nosuchprotocol 1 2 4 2 8", &out), 2);
+  EXPECT_EQ(run_command("bounds 1 2", &out), 2);
+}
+
+TEST(Cli, ModelErrorsSurfaceCleanly) {
+  std::string out;
+  // c1 > c2 is a contract violation; the CLI must catch and report it.
+  EXPECT_EQ(run_command("bounds 3 2 8 4", &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+}  // namespace

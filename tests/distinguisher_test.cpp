@@ -1,0 +1,200 @@
+// Tests for the executable Lemma 5.1 machinery (core/distinguisher).
+#include "rstp/core/distinguisher.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "rstp/combinatorics/binomial.h"
+#include "rstp/common/check.h"
+#include "rstp/core/effort.h"
+#include "rstp/protocols/alpha.h"
+#include "rstp/protocols/beta.h"
+#include "rstp/protocols/factory.h"
+#include "rstp/protocols/gamma.h"
+#include "rstp/protocols/strawman.h"
+
+namespace rstp::core {
+namespace {
+
+using combinatorics::Multiset;
+using ioa::Bit;
+using protocols::ProtocolConfig;
+using protocols::ProtocolKind;
+
+ProtocolConfig config_for(std::vector<Bit> input, std::uint32_t k, std::int64_t c1,
+                          std::int64_t c2, std::int64_t d) {
+  ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(c1, c2, d);
+  cfg.k = k;
+  cfg.input = std::move(input);
+  return cfg;
+}
+
+/// Enumerates all binary strings of length n.
+std::vector<std::vector<Bit>> all_inputs(std::size_t n) {
+  std::vector<std::vector<Bit>> result;
+  for (std::uint32_t v = 0; v < (1u << n); ++v) {
+    std::vector<Bit> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<Bit>((v >> (n - 1 - i)) & 1u);
+    }
+    result.push_back(std::move(x));
+  }
+  return result;
+}
+
+TEST(Signature, AlphaWindowsAreSingletonBits) {
+  // α with c1=1, d=3: one send then 2 waits per message → window of δ1 = 3
+  // steps holds exactly one packet carrying the message bit.
+  const std::vector<Bit> x = {1, 0, 1};
+  protocols::AlphaTransmitter t{config_for(x, 2, 1, 2, 3)};
+  const TransmitterSignature sig = transmitter_signature(t, 2, 3);
+  EXPECT_TRUE(sig.complete);
+  EXPECT_EQ(sig.total_sends, 3u);
+  ASSERT_EQ(sig.windows.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sig.windows[i].size(), 1u);
+    EXPECT_EQ(sig.windows[i].count(x[i]), 1u);
+  }
+}
+
+TEST(Signature, BetaWindowsAreTheEncodedBlocks) {
+  const auto input = make_random_input(8, 3);
+  const ProtocolConfig cfg = config_for(input, 3, 1, 1, 4);
+  protocols::BetaTransmitter t{cfg};
+  // β's rounds are 2δ steps (δ sends + δ waits): with window = 2δ each
+  // window is exactly one block's multiset.
+  const TransmitterSignature sig = transmitter_signature(t, 3, 2 * t.block_size());
+  EXPECT_TRUE(sig.complete);
+  const auto& stream = t.symbol_stream();
+  const auto delta = static_cast<std::size_t>(t.block_size());
+  ASSERT_EQ(sig.windows.size(), stream.size() / delta);
+  for (std::size_t b = 0; b < sig.windows.size(); ++b) {
+    const std::span<const combinatorics::Symbol> block{stream.data() + b * delta, delta};
+    EXPECT_EQ(sig.windows[b], Multiset::from_symbols(3, block)) << "block " << b;
+  }
+}
+
+TEST(Signature, DoesNotMutateTheTransmitter) {
+  protocols::AlphaTransmitter t{config_for({1, 0}, 2, 1, 2, 3)};
+  const std::string before = t.snapshot();
+  (void)transmitter_signature(t, 2, 3);
+  EXPECT_EQ(t.snapshot(), before);
+}
+
+TEST(Signature, ActiveTransmitterReportsIncomplete) {
+  // γ stalls awaiting acks that never come in the signature harness.
+  protocols::GammaTransmitter t{config_for({1, 0, 1, 1}, 4, 1, 2, 8)};
+  const TransmitterSignature sig = transmitter_signature(t, 4, 4, /*max_steps=*/500);
+  EXPECT_FALSE(sig.complete);
+  EXPECT_GT(sig.total_sends, 0u);  // the first block was sent before stalling
+}
+
+TEST(Signature, EmptyInputHasEmptySignature) {
+  protocols::AlphaTransmitter t{config_for({}, 2, 1, 2, 3)};
+  const TransmitterSignature sig = transmitter_signature(t, 2, 3);
+  EXPECT_TRUE(sig.complete);
+  EXPECT_TRUE(sig.windows.empty());
+  EXPECT_EQ(sig.total_sends, 0u);
+}
+
+TEST(Lemma51, CorrectProtocolsHaveInjectiveSignaturesExhaustively) {
+  // Lemma 5.1's contrapositive: a correct r-passive protocol must give
+  // distinct inputs distinct signatures. Exhaustive over all 2^7 inputs.
+  for (const auto kind : {ProtocolKind::Alpha, ProtocolKind::Beta}) {
+    std::set<std::string> seen;
+    for (const auto& x : all_inputs(7)) {
+      const ProtocolConfig cfg = config_for(x, 3, 1, 1, 3);
+      const auto instance = protocols::make_protocol(kind, cfg);
+      const TransmitterSignature sig =
+          transmitter_signature(*instance.transmitter, 3, cfg.params.delta1());
+      ASSERT_TRUE(sig.complete);
+      // Serialize for set membership.
+      std::string key;
+      for (const auto& w : sig.windows) {
+        for (const auto s : w.to_sorted_sequence()) key += static_cast<char>('a' + s);
+        key += '|';
+      }
+      EXPECT_TRUE(seen.insert(key).second)
+          << protocols::to_string(kind) << ": duplicate signature for an input of length 7";
+    }
+    EXPECT_EQ(seen.size(), 128u);
+  }
+}
+
+TEST(Lemma51, StrawmanHasCollidingSignatures) {
+  // Two inputs whose strawman blocks are permutations of each other: equal
+  // window multisets ⇒ the batch adversary makes them indistinguishable.
+  // k=2, δ=2, b=1 bit/symbol: block (1,0) vs (0,1) ⇔ inputs 10 vs 01.
+  const std::vector<Bit> x1 = {1, 0};
+  const std::vector<Bit> x2 = {0, 1};
+  const ProtocolConfig cfg1 = config_for(x1, 2, 1, 1, 2);
+  const ProtocolConfig cfg2 = config_for(x2, 2, 1, 1, 2);
+  protocols::StrawmanTransmitter t1{cfg1};
+  protocols::StrawmanTransmitter t2{cfg2};
+  const auto sig1 = transmitter_signature(t1, 2, 2);
+  const auto sig2 = transmitter_signature(t2, 2, 2);
+  EXPECT_EQ(sig1, sig2) << "the strawman cannot distinguish 10 from 01";
+
+  // And indeed, under the batch adversary both runs write the same output,
+  // so at least one of them is wrong (Lemma 5.1's argument, executed).
+  const ProtocolRun r1 = run_protocol(ProtocolKind::Strawman, cfg1,
+                                      Environment::adversarial_fast());
+  const ProtocolRun r2 = run_protocol(ProtocolKind::Strawman, cfg2,
+                                      Environment::adversarial_fast());
+  EXPECT_EQ(r1.result.output, r2.result.output);
+  EXPECT_FALSE(r1.output_correct && r2.output_correct);
+
+  // The strongest form of Lemma 5.1's conclusion: the receiver's entire
+  // timed view — every packet it receives, at its time, plus every local
+  // step it takes — is IDENTICAL across the two executions. The receiver
+  // provably cannot tell X1 from X2.
+  EXPECT_EQ(r1.result.trace.process_view(ioa::ProcessId::Receiver),
+            r2.result.trace.process_view(ioa::ProcessId::Receiver));
+  // The transmitters' views differ, of course (they hold different inputs).
+  EXPECT_NE(r1.result.trace.process_view(ioa::ProcessId::Transmitter),
+            r2.result.trace.process_view(ioa::ProcessId::Transmitter));
+}
+
+TEST(Lemma51, WindowCountRespectsTheCountingBound) {
+  // Theorem 5.3's counting, executed: for every n and every input, a correct
+  // protocol's window count ℓ(X) must be ≥ ⌈n / log2(ζ_k(δ1)+1)⌉ for at
+  // least one X of each length (the max over X is what the bound constrains;
+  // we check the max).
+  const std::uint32_t k = 2;
+  const std::uint32_t delta1 = 3;
+  for (std::size_t n = 1; n <= 8; ++n) {
+    std::size_t max_windows = 0;
+    for (const auto& x : all_inputs(n)) {
+      const ProtocolConfig cfg = config_for(x, k, 1, 1, 3);
+      protocols::BetaTransmitter t{cfg};
+      const auto sig = transmitter_signature(t, k, delta1);
+      max_windows = std::max(max_windows, sig.windows.size());
+    }
+    EXPECT_GE(max_windows, min_windows_for(n, k, delta1)) << "n=" << n;
+  }
+}
+
+TEST(Lemma51, MinWindowsFormula) {
+  EXPECT_EQ(min_windows_for(0, 2, 3), 0u);
+  // ζ_2(3) = 2+3+4 = 9 → log2(10) ≈ 3.32 bits per window.
+  EXPECT_EQ(min_windows_for(1, 2, 3), 1u);
+  EXPECT_EQ(min_windows_for(4, 2, 3), 2u);
+  EXPECT_EQ(min_windows_for(7, 2, 3), 3u);
+  EXPECT_EQ(min_windows_for(34, 2, 3), 11u);
+}
+
+TEST(Signature, WindowSizeOneTracksEveryStep) {
+  const std::vector<Bit> x = {1, 1};
+  protocols::AlphaTransmitter t{config_for(x, 2, 1, 2, 2)};  // send, wait, send, wait
+  const auto sig = transmitter_signature(t, 2, 1);
+  ASSERT_EQ(sig.windows.size(), 3u);  // last send at step 3; trailing wait trimmed
+  EXPECT_EQ(sig.windows[0].size(), 1u);
+  EXPECT_EQ(sig.windows[1].size(), 0u);
+  EXPECT_EQ(sig.windows[2].size(), 1u);
+}
+
+}  // namespace
+}  // namespace rstp::core

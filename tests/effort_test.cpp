@@ -1,0 +1,168 @@
+// Tests for the empirical effort harness (paper §4's eff(A), measured).
+#include "rstp/core/effort.h"
+
+#include <gtest/gtest.h>
+
+#include "rstp/common/check.h"
+#include "rstp/core/bounds.h"
+
+namespace rstp::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(Workloads, RandomInputIsSeededAndBinary) {
+  const auto a = make_random_input(128, 5);
+  const auto b = make_random_input(128, 5);
+  const auto c = make_random_input(128, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  int ones = 0;
+  for (const auto bit : a) {
+    ASSERT_LE(bit, 1);
+    ones += bit;
+  }
+  EXPECT_GT(ones, 32);  // roughly balanced
+  EXPECT_LT(ones, 96);
+}
+
+TEST(Workloads, AlternatingAndConstant) {
+  EXPECT_EQ(make_alternating_input(4), (std::vector<ioa::Bit>{0, 1, 0, 1}));
+  EXPECT_EQ(make_constant_input(3, 1), (std::vector<ioa::Bit>{1, 1, 1}));
+  EXPECT_THROW((void)make_constant_input(3, 2), ContractViolation);
+}
+
+TEST(Environment, PresetsHaveDocumentedShapes) {
+  const Environment worst = Environment::worst_case();
+  EXPECT_EQ(worst.transmitter_sched, Environment::Sched::SlowFixed);
+  EXPECT_EQ(worst.delay, Environment::Delay::Max);
+  const Environment adv = Environment::adversarial_fast();
+  EXPECT_EQ(adv.transmitter_sched, Environment::Sched::FastFixed);
+  EXPECT_EQ(adv.delay, Environment::Delay::Adversarial);
+  const Environment rnd = Environment::randomized(42);
+  EXPECT_EQ(rnd.seed, 42u);
+  EXPECT_EQ(rnd.delay, Environment::Delay::Random);
+}
+
+TEST(Effort, MeasurementReportsCorrectnessAndQuiescence) {
+  const auto params = TimingParams::make(1, 2, 4);
+  const auto m = measure_effort(ProtocolKind::Alpha, params, 2, 32, Environment::worst_case());
+  EXPECT_EQ(m.n, 32u);
+  EXPECT_TRUE(m.output_correct);
+  EXPECT_TRUE(m.quiescent);
+  EXPECT_TRUE(m.last_send.has_value());
+  EXPECT_GT(m.effort, 0.0);
+  EXPECT_EQ(m.transmitter_sends, 32u);
+}
+
+TEST(Effort, ZeroLengthInputHasZeroEffort) {
+  const auto params = TimingParams::make(1, 2, 4);
+  const auto m = measure_effort(ProtocolKind::Beta, params, 4, 0, Environment::worst_case());
+  EXPECT_TRUE(m.output_correct);
+  EXPECT_FALSE(m.last_send.has_value());
+  EXPECT_DOUBLE_EQ(m.effort, 0.0);
+}
+
+TEST(Effort, WorstCaseDominatesOtherEnvironments) {
+  // The worst-case environment must yield ≥ effort of faster environments.
+  const auto params = TimingParams::make(1, 3, 6);
+  for (const auto kind : {ProtocolKind::Alpha, ProtocolKind::Beta, ProtocolKind::Gamma}) {
+    const auto worst = measure_effort(kind, params, 4, 128, Environment::worst_case());
+    Environment fast;
+    fast.transmitter_sched = Environment::Sched::FastFixed;
+    fast.receiver_sched = Environment::Sched::FastFixed;
+    fast.delay = Environment::Delay::Zero;
+    const auto best = measure_effort(kind, params, 4, 128, fast);
+    ASSERT_TRUE(worst.output_correct) << protocols::to_string(kind);
+    ASSERT_TRUE(best.output_correct) << protocols::to_string(kind);
+    EXPECT_GE(worst.effort, best.effort - 1e-9) << protocols::to_string(kind);
+  }
+}
+
+TEST(Effort, ConvergesAsNGrows) {
+  // effort(n) should approach the asymptote from below-or-near as n grows;
+  // successive measurements differ less and less.
+  const auto params = TimingParams::make(1, 2, 6);
+  const auto m64 = measure_effort(ProtocolKind::Beta, params, 8, 64, Environment::worst_case());
+  const auto m256 = measure_effort(ProtocolKind::Beta, params, 8, 256, Environment::worst_case());
+  const auto m1024 =
+      measure_effort(ProtocolKind::Beta, params, 8, 1024, Environment::worst_case());
+  const double d1 = std::abs(m256.effort - m64.effort);
+  const double d2 = std::abs(m1024.effort - m256.effort);
+  EXPECT_LE(d2, d1 + 1e-9);
+}
+
+TEST(Effort, MeasurementsRespectTheoremBoundsAcrossGrid) {
+  // Parameter sweep: worst-case measured effort sits between the matching
+  // lower bound (finite-n slack 0.75) and the protocol's upper bound.
+  for (const std::uint32_t k : {2u, 4u, 16u}) {
+    for (const std::int64_t d : {4, 12}) {
+      const auto params = TimingParams::make(1, 2, d);
+      const BoundsReport bounds = compute_bounds(params, k);
+      // Block-align n (the bounds assume |X| ≡ 0 mod B, per the paper).
+      const auto beta = measure_effort(ProtocolKind::Beta, params, k,
+                                       bounds.beta_bits_per_block * 50,
+                                       Environment::worst_case());
+      ASSERT_TRUE(beta.output_correct) << "beta k=" << k << " d=" << d;
+      EXPECT_LE(beta.effort, bounds.beta_upper * (1 + 1e-9)) << "k=" << k << " d=" << d;
+      EXPECT_GE(beta.effort, bounds.passive_lower * 0.75) << "k=" << k << " d=" << d;
+
+      const auto gamma = measure_effort(ProtocolKind::Gamma, params, k,
+                                        bounds.gamma_bits_per_block * 50,
+                                        Environment::worst_case());
+      ASSERT_TRUE(gamma.output_correct) << "gamma k=" << k << " d=" << d;
+      EXPECT_LE(gamma.effort, bounds.gamma_upper * (1 + 1e-9)) << "k=" << k << " d=" << d;
+      EXPECT_GE(gamma.effort, bounds.active_lower * 0.75) << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(EffortDistribution, SummaryIsConsistent) {
+  const auto params = TimingParams::make(1, 3, 9);
+  const auto dist =
+      measure_effort_distribution(ProtocolKind::Beta, params, 8, 120, /*samples=*/50);
+  EXPECT_TRUE(dist.all_correct);
+  EXPECT_EQ(dist.samples, 50u);
+  EXPECT_LE(dist.min, dist.mean);
+  EXPECT_LE(dist.mean, dist.max);
+  EXPECT_LE(dist.p95, dist.max);
+  EXPECT_GE(dist.p95, dist.min);
+  EXPECT_GT(dist.min, 0.0);
+}
+
+TEST(EffortDistribution, WorstCaseEnvironmentDominatesRandomSampling) {
+  // The max-over-good-executions in eff(A)'s definition: the deterministic
+  // worst-case environment must upper-bound anything random sampling finds.
+  const auto params = TimingParams::make(1, 3, 9);
+  for (const auto kind : {ProtocolKind::Alpha, ProtocolKind::Beta, ProtocolKind::Gamma}) {
+    const auto worst =
+        measure_effort(kind, params, 8, 120, Environment::worst_case(), 0xD157F00D);
+    const auto dist = measure_effort_distribution(kind, params, 8, 120, 40, 0x0D15);
+    ASSERT_TRUE(worst.output_correct) << protocols::to_string(kind);
+    ASSERT_TRUE(dist.all_correct) << protocols::to_string(kind);
+    EXPECT_GE(worst.effort, dist.max - 1e-9) << protocols::to_string(kind);
+  }
+}
+
+TEST(EffortDistribution, DegenerateInputsRejected) {
+  const auto params = TimingParams::make(1, 2, 4);
+  EXPECT_THROW((void)measure_effort_distribution(ProtocolKind::Beta, params, 4, 0, 10),
+               ContractViolation);
+  EXPECT_THROW((void)measure_effort_distribution(ProtocolKind::Beta, params, 4, 10, 0),
+               ContractViolation);
+}
+
+TEST(Effort, SchedulerAndPolicyFactoriesCoverAllEnums) {
+  const auto params = TimingParams::make(1, 2, 4);
+  for (const auto s : {Environment::Sched::SlowFixed, Environment::Sched::FastFixed,
+                       Environment::Sched::Random, Environment::Sched::Sawtooth}) {
+    EXPECT_NE(make_scheduler(s, params, 1), nullptr);
+  }
+  for (const auto del : {Environment::Delay::Max, Environment::Delay::Zero,
+                         Environment::Delay::Random, Environment::Delay::Adversarial}) {
+    EXPECT_NE(make_delivery_policy(del, params, 1), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace rstp::core

@@ -1,0 +1,118 @@
+// Tests for the protocol factory and the kind metadata.
+#include "rstp/protocols/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "rstp/common/check.h"
+#include "rstp/core/effort.h"
+
+namespace rstp::protocols {
+namespace {
+
+ProtocolConfig valid_config(ProtocolKind kind) {
+  ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(1, 2, 8);
+  cfg.k = kind == ProtocolKind::Indexed ? 64u : 8u;
+  cfg.input = core::make_random_input(16, 1);
+  return cfg;
+}
+
+TEST(Factory, EveryKindConstructs) {
+  for (const auto kind : kAllProtocolKinds) {
+    const ProtocolInstance instance = make_protocol(kind, valid_config(kind));
+    ASSERT_NE(instance.transmitter, nullptr) << to_string(kind);
+    ASSERT_NE(instance.receiver, nullptr) << to_string(kind);
+    EXPECT_FALSE(instance.transmitter->name().empty());
+    EXPECT_FALSE(instance.receiver->name().empty());
+    // Fresh automata are in their start states: nothing transmitted yet.
+    EXPECT_FALSE(instance.transmitter->transmission_complete()) << to_string(kind);
+    EXPECT_TRUE(instance.receiver->output().empty()) << to_string(kind);
+  }
+}
+
+TEST(Factory, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (const auto kind : kAllProtocolKinds) {
+    names.insert(std::string{to_string(kind)});
+  }
+  EXPECT_EQ(names.size(), std::size(kAllProtocolKinds));
+  EXPECT_EQ(to_string(ProtocolKind::Alpha), "alpha");
+  EXPECT_EQ(to_string(ProtocolKind::Beta), "beta");
+  EXPECT_EQ(to_string(ProtocolKind::Gamma), "gamma");
+  EXPECT_EQ(to_string(ProtocolKind::AltBit), "altbit");
+  EXPECT_EQ(to_string(ProtocolKind::Strawman), "strawman");
+  EXPECT_EQ(to_string(ProtocolKind::Indexed), "indexed");
+  EXPECT_EQ(to_string(ProtocolKind::WindowedGamma), "gammaw");
+}
+
+TEST(Factory, StreamInsertionMatchesToString) {
+  std::ostringstream os;
+  os << ProtocolKind::Gamma;
+  EXPECT_EQ(os.str(), "gamma");
+}
+
+TEST(Factory, RPassivePartitionMatchesThePaper) {
+  // r-passive = the receiver sends no packets (P^rt = ∅).
+  EXPECT_TRUE(is_r_passive(ProtocolKind::Alpha));
+  EXPECT_TRUE(is_r_passive(ProtocolKind::Beta));
+  EXPECT_TRUE(is_r_passive(ProtocolKind::Strawman));
+  EXPECT_TRUE(is_r_passive(ProtocolKind::Indexed));
+  EXPECT_FALSE(is_r_passive(ProtocolKind::Gamma));
+  EXPECT_FALSE(is_r_passive(ProtocolKind::AltBit));
+  EXPECT_FALSE(is_r_passive(ProtocolKind::WindowedGamma));
+}
+
+TEST(Factory, RPassiveMetadataMatchesBehaviour) {
+  // Dynamic check: a full worst-case run of an r-passive protocol must have
+  // zero receiver sends; an active one must have at least one.
+  for (const auto kind : kAllProtocolKinds) {
+    if (kind == ProtocolKind::Strawman) continue;  // corrupts under some envs; skip
+    const core::ProtocolRun run =
+        core::run_protocol(kind, valid_config(kind), core::Environment::worst_case());
+    ASSERT_TRUE(run.output_correct) << to_string(kind);
+    if (is_r_passive(kind)) {
+      EXPECT_EQ(run.result.receiver_sends, 0u) << to_string(kind);
+    } else {
+      EXPECT_GT(run.result.receiver_sends, 0u) << to_string(kind);
+    }
+  }
+}
+
+TEST(Factory, InvalidConfigurationsRejected) {
+  ProtocolConfig bad_k = valid_config(ProtocolKind::Beta);
+  bad_k.k = 1;
+  EXPECT_THROW((void)make_protocol(ProtocolKind::Beta, bad_k), ContractViolation);
+
+  ProtocolConfig bad_bits = valid_config(ProtocolKind::Beta);
+  bad_bits.input = {0, 1, 2};
+  EXPECT_THROW((void)make_protocol(ProtocolKind::Beta, bad_bits), ContractViolation);
+
+  ProtocolConfig bad_override = valid_config(ProtocolKind::Beta);
+  bad_override.block_size_override = 0;
+  EXPECT_THROW((void)make_protocol(ProtocolKind::Beta, bad_override), ContractViolation);
+
+  ProtocolConfig small_indexed = valid_config(ProtocolKind::Indexed);
+  small_indexed.k = 8;  // < 2·16
+  EXPECT_THROW((void)make_protocol(ProtocolKind::Indexed, small_indexed), ContractViolation);
+
+  ProtocolConfig odd_windowed = valid_config(ProtocolKind::WindowedGamma);
+  odd_windowed.k = 7;
+  EXPECT_THROW((void)make_protocol(ProtocolKind::WindowedGamma, odd_windowed),
+               ContractViolation);
+}
+
+TEST(Factory, PaperKindsAreASubsetOfAllKinds) {
+  for (const auto kind : kPaperProtocolKinds) {
+    bool found = false;
+    for (const auto all : kAllProtocolKinds) {
+      found = found || all == kind;
+    }
+    EXPECT_TRUE(found) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace rstp::protocols

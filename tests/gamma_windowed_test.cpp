@@ -1,0 +1,269 @@
+// Tests for A^γw(k) — the pipelined (windowed) gamma extension.
+#include "rstp/protocols/gamma_windowed.h"
+
+#include <gtest/gtest.h>
+
+#include "rstp/common/check.h"
+#include "rstp/combinatorics/binomial.h"
+#include "rstp/core/bounds.h"
+#include "rstp/core/effort.h"
+#include "rstp/core/trace_stats.h"
+#include "rstp/core/verify.h"
+#include "rstp/ioa/explorer.h"
+#include "rstp/protocols/factory.h"
+
+namespace rstp::protocols {
+namespace {
+
+using core::Environment;
+using ioa::Action;
+using ioa::ActionKind;
+using ioa::Bit;
+using ioa::Packet;
+
+ProtocolConfig config_for(std::vector<Bit> input, std::uint32_t k = 8, std::int64_t c1 = 1,
+                          std::int64_t c2 = 2, std::int64_t d = 8) {
+  ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(c1, c2, d);
+  cfg.k = k;
+  cfg.input = std::move(input);
+  return cfg;
+}
+
+TEST(WindowedGamma, RequiresEvenAlphabetOfAtLeastFour) {
+  EXPECT_THROW(WindowedGammaTransmitter{config_for({1}, 3)}, ContractViolation);
+  EXPECT_THROW(WindowedGammaTransmitter{config_for({1}, 2)}, ContractViolation);
+  EXPECT_THROW(WindowedGammaReceiver{config_for({1}, 5)}, ContractViolation);
+  EXPECT_NO_THROW(WindowedGammaTransmitter{config_for({1}, 4)});
+}
+
+TEST(WindowedGamma, PayloadsCarryAlternatingParityTags) {
+  // k=8 → symbols over {0..3}, parity in the high half. δ2 = 4.
+  WindowedGammaTransmitter t{config_for(core::make_random_input(20, 1))};
+  ASSERT_EQ(t.block_size(), 4);
+  // Block 0 (parity 0): payloads < 4; block 1 (parity 1): payloads in [4, 8).
+  for (int i = 0; i < 4; ++i) {
+    const auto a = t.enabled_local();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_EQ(a->kind, ActionKind::Send);
+    EXPECT_LT(a->packet.payload, 4u) << "block 0 must carry parity 0";
+    t.apply(*a);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto a = t.enabled_local();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_EQ(a->kind, ActionKind::Send);
+    EXPECT_GE(a->packet.payload, 4u) << "block 1 must carry parity 1";
+    t.apply(*a);
+  }
+  // Window full: block 2 needs block 0 acked.
+  EXPECT_EQ(t.enabled_local()->kind, ActionKind::Internal);
+  for (int i = 0; i < 4; ++i) t.apply(Action::recv(Packet::to_transmitter(0)));
+  EXPECT_EQ(t.enabled_local()->kind, ActionKind::Send) << "block 0 acked unlocks block 2";
+}
+
+TEST(WindowedGamma, OutOfOrderBlockCompletionCascades) {
+  // Acks for the tail block (parity 1) arriving before the head block's
+  // (parity 0) must not advance `completed_` until the head is done.
+  WindowedGammaTransmitter t{config_for(core::make_random_input(20, 2))};
+  for (int i = 0; i < 8; ++i) t.apply(*t.enabled_local());  // send blocks 0,1
+  // All 4 acks of parity 1 arrive first: still stalled (head is parity 0).
+  for (int i = 0; i < 4; ++i) t.apply(Action::recv(Packet::to_transmitter(1)));
+  EXPECT_EQ(t.enabled_local()->kind, ActionKind::Internal);
+  // Head's acks cascade both completions: blocks 2 AND 3 become available.
+  for (int i = 0; i < 4; ++i) t.apply(Action::recv(Packet::to_transmitter(0)));
+  int sends = 0;
+  while (t.enabled_local().has_value() && t.enabled_local()->kind == ActionKind::Send) {
+    t.apply(*t.enabled_local());
+    ++sends;
+  }
+  EXPECT_EQ(sends, 8) << "both remaining blocks may be sent back-to-back";
+}
+
+TEST(WindowedGamma, ReceiverDecodesBlocksInOrderDespiteParityCompletion) {
+  const auto input = core::make_random_input(10, 3);
+  const ProtocolConfig cfg = config_for(input);
+  WindowedGammaTransmitter t{cfg};
+  WindowedGammaReceiver r{cfg};
+  std::vector<std::uint32_t> payloads;
+  while (t.enabled_local().has_value() && t.enabled_local()->kind == ActionKind::Send) {
+    payloads.push_back(t.enabled_local()->packet.payload);
+    t.apply(*t.enabled_local());
+  }
+  ASSERT_EQ(payloads.size(), 8u);  // two blocks in the window
+  // Deliver block 1 (parity 1) completely BEFORE block 0: nothing decodes…
+  for (std::size_t i = 4; i < 8; ++i) r.apply(Action::recv(Packet::to_receiver(payloads[i])));
+  EXPECT_EQ(r.decoded_bits(), 0u);
+  // …until block 0 lands, then both decode in order.
+  for (std::size_t i = 0; i < 4; ++i) r.apply(Action::recv(Packet::to_receiver(payloads[i])));
+  EXPECT_GE(r.decoded_bits(), 10u);
+  std::vector<Bit> written;
+  while (r.enabled_local()->kind == ActionKind::Send) r.apply(*r.enabled_local());  // acks
+  while (r.enabled_local()->kind == ActionKind::Write) {
+    written.push_back(r.enabled_local()->message);
+    r.apply(*r.enabled_local());
+  }
+  EXPECT_EQ(written, input);
+}
+
+TEST(WindowedGamma, EndToEndCorrectAcrossEnvironments) {
+  const auto input = core::make_random_input(80, 5);
+  const auto cfg = config_for(input);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const core::ProtocolRun run =
+        core::run_protocol(ProtocolKind::WindowedGamma, cfg, Environment::randomized(seed));
+    EXPECT_TRUE(run.result.quiescent) << "seed " << seed;
+    EXPECT_TRUE(run.output_correct) << "seed " << seed;
+    const auto verdict = core::verify_trace(run.result.trace, cfg.params, input);
+    EXPECT_TRUE(verdict.ok()) << "seed " << seed << '\n' << verdict;
+  }
+  const core::ProtocolRun worst =
+      core::run_protocol(ProtocolKind::WindowedGamma, cfg, Environment::worst_case());
+  EXPECT_TRUE(worst.output_correct);
+}
+
+TEST(WindowedGamma, EffortWithinItsDerivedBound) {
+  const auto params = core::TimingParams::make(1, 2, 16);
+  const std::uint32_t k = 16;
+  const double bound = windowed_gamma_upper(params, k);
+  protocols::ProtocolConfig cfg;
+  cfg.params = params;
+  cfg.k = k;
+  const std::size_t B = combinatorics::floor_log2_mu(k / 2, static_cast<std::uint32_t>(params.delta2()));
+  cfg.input = core::make_random_input(B * 2 * 40, 6);  // align to 2-block windows
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::WindowedGamma, cfg, Environment::worst_case());
+  ASSERT_TRUE(run.output_correct);
+  const double effort =
+      static_cast<double>((*run.result.last_transmitter_send - Time::zero()).ticks()) /
+      static_cast<double>(cfg.input.size());
+  EXPECT_LE(effort, bound * (1 + 1e-9));
+}
+
+TEST(WindowedGamma, PipeliningBeatsPlainGammaWhenAlphabetIsRich) {
+  // 2·B_{k/2} > B_k here: windowing should win.
+  const auto params = core::TimingParams::make(1, 2, 16);
+  const std::uint32_t k = 16;
+  const auto gamma = core::measure_effort(ProtocolKind::Gamma, params, k, 720,
+                                          Environment::worst_case());
+  const auto windowed = core::measure_effort(ProtocolKind::WindowedGamma, params, k, 720,
+                                             Environment::worst_case());
+  ASSERT_TRUE(gamma.output_correct);
+  ASSERT_TRUE(windowed.output_correct);
+  EXPECT_LT(windowed.effort, gamma.effort);
+}
+
+TEST(WindowedGamma, WindowNeverExceedsTwoBlocksInFlight) {
+  const auto cfg = config_for(core::make_random_input(60, 7));
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::WindowedGamma, cfg, Environment::worst_case());
+  ASSERT_TRUE(run.output_correct);
+  const core::TraceStats stats = core::compute_trace_stats(run.result.trace);
+  const auto delta2 = static_cast<std::uint64_t>(cfg.params.delta2());
+  // ≤ 2 blocks of data + their acks simultaneously in flight.
+  EXPECT_LE(stats.max_in_flight, 4 * delta2);
+  EXPECT_EQ(stats.acks.delivered, stats.data.delivered);
+}
+
+TEST(WindowedGamma, ExhaustivelyVerifiedSmallInstance) {
+  // c1=c2=1, d=2 → δ2=2; k=4 → symbols over {0,1}, B=1 bit per block.
+  const std::vector<Bit> input = {1, 0, 1};
+  ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(1, 1, 2);
+  cfg.k = 4;
+  cfg.input = input;
+  const auto instance = make_protocol(ProtocolKind::WindowedGamma, cfg);
+  ioa::ExplorerConfig config;
+  config.d = 2;
+  const auto prefix = [&input](const ioa::Automaton&, const ioa::Automaton& r) {
+    const auto& out = dynamic_cast<const ReceiverBase&>(r).output();
+    return out.size() <= input.size() && std::equal(out.begin(), out.end(), input.begin());
+  };
+  const auto complete = [&input](const ioa::Automaton&, const ioa::Automaton& r) {
+    return dynamic_cast<const ReceiverBase&>(r).output() == input;
+  };
+  ioa::Explorer explorer{*instance.transmitter, *instance.receiver, config, prefix, complete};
+  const ioa::ExplorerResult result = explorer.run();
+  EXPECT_TRUE(result.verified()) << result.first_violation;
+  EXPECT_GT(result.terminal_states, 0u);
+}
+
+TEST(WindowedGamma, WindowOverrideValidation) {
+  ProtocolConfig cfg = config_for({1, 0}, 12);
+  cfg.window_override = 3;  // 12/3 = 4 symbols: fine
+  EXPECT_NO_THROW(WindowedGammaTransmitter{cfg});
+  cfg.window_override = 5;  // 5 does not divide 12
+  EXPECT_THROW(WindowedGammaTransmitter{cfg}, ContractViolation);
+  cfg.window_override = 8;  // 12 < 2*8
+  EXPECT_THROW(WindowedGammaTransmitter{cfg}, ContractViolation);
+  cfg.window_override = 0;
+  EXPECT_THROW(WindowedGammaTransmitter{cfg}, ContractViolation);
+}
+
+TEST(WindowedGamma, WindowOneMatchesPlainGammaEffort) {
+  // W = 1: no pipelining, full alphabet — the same block rhythm as A^gamma,
+  // so worst-case effort must coincide exactly.
+  const auto params = core::TimingParams::make(1, 2, 16);
+  protocols::ProtocolConfig cfg;
+  cfg.params = params;
+  cfg.k = 16;
+  cfg.window_override = 1;
+  cfg.input = core::make_random_input(440, 9);
+  const core::ProtocolRun w1 =
+      core::run_protocol(ProtocolKind::WindowedGamma, cfg, Environment::worst_case());
+  cfg.window_override.reset();
+  const core::ProtocolRun plain =
+      core::run_protocol(ProtocolKind::Gamma, cfg, Environment::worst_case());
+  ASSERT_TRUE(w1.output_correct);
+  ASSERT_TRUE(plain.output_correct);
+  EXPECT_EQ(w1.result.last_transmitter_send, plain.result.last_transmitter_send);
+}
+
+TEST(WindowedGamma, LargerWindowsCorrectUnderRandomizedEnvironments) {
+  for (const std::uint32_t w : {3u, 4u, 6u}) {
+    protocols::ProtocolConfig cfg;
+    cfg.params = core::TimingParams::make(1, 2, 12);
+    cfg.k = 24;  // divisible by 3, 4, 6
+    cfg.window_override = w;
+    cfg.input = core::make_random_input(90, w);
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const core::ProtocolRun run =
+          core::run_protocol(ProtocolKind::WindowedGamma, cfg, Environment::randomized(seed));
+      EXPECT_TRUE(run.output_correct) << "W=" << w << " seed=" << seed;
+      const auto verdict = core::verify_trace(run.result.trace, cfg.params, cfg.input);
+      EXPECT_TRUE(verdict.ok()) << "W=" << w << '\n' << verdict;
+    }
+  }
+}
+
+TEST(WindowedGamma, BoundFunctionValidation) {
+  const auto params = core::TimingParams::make(1, 2, 16);
+  EXPECT_GT(windowed_gamma_upper(params, 16, 1), 0.0);
+  EXPECT_THROW((void)windowed_gamma_upper(params, 15, 2), ContractViolation);
+  EXPECT_THROW((void)windowed_gamma_upper(params, 4, 4), ContractViolation);
+  // Deeper windows with rich alphabets keep helping until send-limited.
+  EXPECT_LT(windowed_gamma_upper(params, 64, 2), windowed_gamma_upper(params, 64, 1));
+}
+
+TEST(WindowedGamma, SurvivesTheBatchAdversary) {
+  // Pipelined blocks are adjacent in time, so an adversarial batch can mix
+  // packets of different blocks in one sorted burst — the tag is what keeps
+  // them separable. Unlike beta, gamma-w needs no timing argument at all.
+  const auto cfg = config_for(core::make_random_input(64, 11), 8, 1, 1, 8);
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::WindowedGamma, cfg, Environment::adversarial_fast());
+  EXPECT_TRUE(run.result.quiescent);
+  EXPECT_TRUE(run.output_correct);
+  const auto verdict = core::verify_trace(run.result.trace, cfg.params, cfg.input);
+  EXPECT_TRUE(verdict.ok()) << verdict;
+}
+
+TEST(WindowedGamma, EmptyInput) {
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::WindowedGamma, config_for({}), Environment::worst_case());
+  EXPECT_TRUE(run.output_correct);
+  EXPECT_TRUE(run.result.quiescent);
+}
+
+}  // namespace
+}  // namespace rstp::protocols

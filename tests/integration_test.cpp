@@ -1,0 +1,239 @@
+// Full-stack integration sweep: every paper protocol × every scheduler kind
+// × every channel policy × a grid of timing parameters, each run checked for
+// correctness and verified against good(A).
+//
+// This is the repository's main "the composition works" safety net: any
+// regression in the simulator, channel, scheduler, coder, or a protocol
+// surfaces here with the exact offending combination in the test name.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "rstp/channel/policies.h"
+#include "rstp/core/effort.h"
+#include "rstp/core/verify.h"
+#include "rstp/protocols/factory.h"
+
+namespace rstp::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+struct GridPoint {
+  ProtocolKind kind;
+  Environment::Sched sched;
+  Environment::Delay delay;
+};
+
+std::string sched_name(Environment::Sched s) {
+  switch (s) {
+    case Environment::Sched::SlowFixed:
+      return "slow";
+    case Environment::Sched::FastFixed:
+      return "fast";
+    case Environment::Sched::Random:
+      return "random";
+    case Environment::Sched::Sawtooth:
+      return "sawtooth";
+  }
+  return "?";
+}
+
+std::string delay_name(Environment::Delay d) {
+  switch (d) {
+    case Environment::Delay::Max:
+      return "max";
+    case Environment::Delay::Zero:
+      return "zero";
+    case Environment::Delay::Random:
+      return "random";
+    case Environment::Delay::Adversarial:
+      return "adversarial";
+  }
+  return "?";
+}
+
+class FullStackSweep : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(FullStackSweep, CorrectAndModelConformant) {
+  const GridPoint point = GetParam();
+
+  // The adversarial batch policy can legitimately defeat only the strawman
+  // (covered in strawman_test); every paper protocol must survive it.
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(1, 2, 6);
+  cfg.k = 4;
+  cfg.input = make_random_input(48, 0xAB);
+
+  Environment env;
+  env.transmitter_sched = point.sched;
+  env.receiver_sched = point.sched;
+  env.delay = point.delay;
+  env.seed = 77;
+
+  const ProtocolRun run = run_protocol(point.kind, cfg, env);
+  EXPECT_TRUE(run.result.quiescent);
+  EXPECT_TRUE(run.output_correct);
+  const VerifyResult verdict = verify_trace(run.result.trace, cfg.params, cfg.input);
+  EXPECT_TRUE(verdict.ok()) << verdict;
+}
+
+std::vector<GridPoint> make_grid() {
+  std::vector<GridPoint> grid;
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    for (const auto sched : {Environment::Sched::SlowFixed, Environment::Sched::FastFixed,
+                             Environment::Sched::Random, Environment::Sched::Sawtooth}) {
+      for (const auto delay : {Environment::Delay::Max, Environment::Delay::Zero,
+                               Environment::Delay::Random, Environment::Delay::Adversarial}) {
+        grid.push_back({kind, sched, delay});
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, FullStackSweep, ::testing::ValuesIn(make_grid()),
+                         [](const auto& param_info) {
+                           const GridPoint& p = param_info.param;
+                           return std::string(protocols::to_string(p.kind)) + "_" +
+                                  sched_name(p.sched) + "_" + delay_name(p.delay);
+                         });
+
+// Timing-parameter sweep at a fixed (protocol, environment): exercises
+// non-dividing c1/c2, c1 = c2, c2 = d, and large-δ regimes.
+class TimingSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(TimingSweep, AllProtocolsCorrect) {
+  const auto [c1, c2, d] = GetParam();
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(c1, c2, d);
+  cfg.k = 4;
+  cfg.input = make_random_input(40, static_cast<std::uint64_t>(c1 * 100 + c2 * 10 + d));
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    const ProtocolRun run = run_protocol(kind, cfg, Environment::randomized(99));
+    EXPECT_TRUE(run.output_correct) << protocols::to_string(kind);
+    const VerifyResult verdict = verify_trace(run.result.trace, cfg.params, cfg.input);
+    EXPECT_TRUE(verdict.ok()) << protocols::to_string(kind) << '\n' << verdict;
+  }
+}
+
+std::string timing_name(
+    const ::testing::TestParamInfo<std::tuple<std::int64_t, std::int64_t, std::int64_t>>& info) {
+  return "c1_" + std::to_string(std::get<0>(info.param)) + "_c2_" +
+         std::to_string(std::get<1>(info.param)) + "_d_" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TimingGrid, TimingSweep,
+    ::testing::Values(std::tuple<std::int64_t, std::int64_t, std::int64_t>{1, 1, 1},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{1, 1, 8},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{1, 8, 8},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{2, 3, 7},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{3, 5, 17},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{1, 2, 32},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{4, 4, 4},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{2, 4, 12}),
+    timing_name);
+
+// Input-content sweep: pathological bit patterns across every protocol.
+TEST(InputPatterns, AllProtocolsHandlePathologicalInputs) {
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(1, 2, 6);
+  cfg.k = 4;
+  const std::vector<std::vector<ioa::Bit>> inputs = {
+      {},                          // empty
+      {0},                         // single zero
+      {1},                         // single one
+      make_constant_input(33, 0),  // all zeros (rank-0 blocks)
+      make_constant_input(33, 1),  // all ones (high ranks)
+      make_alternating_input(33),  // alternating
+  };
+  for (const auto& input : inputs) {
+    cfg.input = input;
+    for (const auto kind : protocols::kPaperProtocolKinds) {
+      const ProtocolRun run = run_protocol(kind, cfg, Environment::worst_case());
+      EXPECT_TRUE(run.output_correct)
+          << protocols::to_string(kind) << " on input of size " << input.size();
+    }
+  }
+}
+
+// Remaining environment corners not covered by the enum sweeps above.
+TEST(EnvironmentCorners, DescendingBatchAdversaryAlsoHarmless) {
+  // The batch adversary's other canonical order (descending payload) erases
+  // intra-window order just the same; multiset decoding must not care.
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(1, 1, 8);
+  cfg.k = 4;
+  cfg.input = make_random_input(64, 0xDE5C);
+  protocols::ProtocolInstance inst = protocols::make_protocol(ProtocolKind::Beta, cfg);
+  auto ts = sim::make_fixed_rate(cfg.params.c1);
+  auto rs = sim::make_fixed_rate(cfg.params.c1);
+  channel::Channel chan{
+      cfg.params.d,
+      channel::make_adversarial_batch(cfg.params.c1 * cfg.params.delta1(), cfg.params.d,
+                                      channel::AdversarialBatchPolicy::BatchOrder::DescendingPayload)};
+  sim::SimConfig sc;
+  sc.params = cfg.params;
+  sim::Simulator sim{*inst.transmitter, *inst.receiver, chan, *ts, *rs, sc};
+  const auto result = sim.run();
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(result.output, cfg.input);
+  EXPECT_TRUE(verify_trace(result.trace, cfg.params, cfg.input).ok());
+}
+
+TEST(EnvironmentCorners, DriftSchedulerEndToEnd) {
+  // Long runs of fast steps followed by long runs of slow steps (clock
+  // drift); every protocol must hold up and the trace must stay in good(A).
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(1, 3, 9);
+  cfg.k = 4;
+  cfg.input = make_random_input(48, 0xD21F7);
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    protocols::ProtocolInstance inst = protocols::make_protocol(kind, cfg);
+    auto ts = sim::make_drift(cfg.params, 7);
+    auto rs = sim::make_drift(cfg.params, 11);
+    channel::Channel chan{cfg.params.d, channel::make_uniform_random(5, Duration{0}, cfg.params.d)};
+    sim::SimConfig sc;
+    sc.params = cfg.params;
+    sim::Simulator sim{*inst.transmitter, *inst.receiver, chan, *ts, *rs, sc};
+    const auto result = sim.run();
+    EXPECT_EQ(result.output, cfg.input) << protocols::to_string(kind);
+    EXPECT_TRUE(verify_trace(result.trace, cfg.params, cfg.input).ok())
+        << protocols::to_string(kind);
+  }
+}
+
+TEST(EnvironmentCorners, SimulatorTracesPassTheStrictFirstStepCheck) {
+  // The simulator starts processes at offset 0 (the paper's "starting at 0"),
+  // so even the optional first-step-within-c2 check holds on its traces.
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(2, 3, 9);
+  cfg.k = 4;
+  cfg.input = make_random_input(20, 0xF125);
+  const ProtocolRun run = run_protocol(ProtocolKind::Gamma, cfg, Environment::worst_case());
+  ASSERT_TRUE(run.output_correct);
+  VerifyOptions strict;
+  strict.check_first_step = true;
+  EXPECT_TRUE(verify_trace(run.result.trace, cfg.params, cfg.input, strict).ok());
+}
+
+// Large-scale smoke: a few thousand bits end-to-end stay exact.
+TEST(Scale, ThousandsOfBitsRemainExact) {
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(1, 2, 16);
+  cfg.k = 16;
+  cfg.input = make_random_input(5000, 0x5CA1E);
+  for (const auto kind : {ProtocolKind::Beta, ProtocolKind::Gamma}) {
+    const ProtocolRun run = run_protocol(kind, cfg, Environment::worst_case(),
+                                         /*record_trace=*/false);
+    EXPECT_TRUE(run.output_correct) << protocols::to_string(kind);
+    EXPECT_TRUE(run.result.quiescent);
+  }
+}
+
+}  // namespace
+}  // namespace rstp::core

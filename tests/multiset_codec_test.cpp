@@ -1,0 +1,180 @@
+// Tests for Multiset and the rank/unrank bijection (the constructive
+// toseq/tomulti of paper §3).
+#include "rstp/combinatorics/multiset_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rstp/combinatorics/binomial.h"
+#include "rstp/common/check.h"
+#include "rstp/common/rng.h"
+
+namespace rstp::combinatorics {
+namespace {
+
+using bigint::BigUint;
+
+TEST(Multiset, BasicOperations) {
+  Multiset m{4};
+  EXPECT_EQ(m.universe(), 4u);
+  EXPECT_EQ(m.size(), 0u);
+  m.add(2);
+  m.add(2);
+  m.add(0);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.count(2), 2u);
+  EXPECT_EQ(m.count(0), 1u);
+  EXPECT_EQ(m.count(3), 0u);
+  m.remove(2);
+  EXPECT_EQ(m.count(2), 1u);
+  EXPECT_EQ(m.size(), 2u);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.count(0), 0u);
+}
+
+TEST(Multiset, ContractChecks) {
+  Multiset m{3};
+  EXPECT_THROW(m.add(3), ContractViolation);
+  EXPECT_THROW(m.remove(1), ContractViolation);
+  EXPECT_THROW((void)m.count(7), ContractViolation);
+  EXPECT_THROW(Multiset{0}, ContractViolation);
+}
+
+TEST(Multiset, FromSymbolsIsOrderInsensitive) {
+  const Symbol a[] = {3, 1, 1, 0, 2};
+  const Symbol b[] = {1, 0, 3, 2, 1};
+  EXPECT_EQ(Multiset::from_symbols(4, a), Multiset::from_symbols(4, b));
+}
+
+TEST(Multiset, ToSortedSequenceIsCanonicalLinearization) {
+  const Symbol syms[] = {2, 0, 2, 1};
+  const Multiset m = Multiset::from_symbols(3, syms);
+  const std::vector<Symbol> expected = {0, 1, 2, 2};
+  EXPECT_EQ(m.to_sorted_sequence(), expected);
+}
+
+TEST(Multiset, SubmultisetRelation) {
+  const Symbol a[] = {0, 1};
+  const Symbol b[] = {0, 0, 1, 2};
+  const Multiset ma = Multiset::from_symbols(3, a);
+  const Multiset mb = Multiset::from_symbols(3, b);
+  EXPECT_TRUE(ma.submultiset_of(mb));
+  EXPECT_FALSE(mb.submultiset_of(ma));
+  EXPECT_TRUE(ma.submultiset_of(ma));
+  EXPECT_TRUE(Multiset{3}.submultiset_of(ma));  // empty ⊆ everything
+}
+
+TEST(MultisetCodec, CountMatchesMu) {
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    for (std::uint32_t n = 0; n <= 10; ++n) {
+      const MultisetCodec codec{k, n};
+      EXPECT_EQ(codec.count(), mu(k, n)) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(MultisetCodec, RankUnrankFullBijectionSmall) {
+  // Exhaustive: every rank unranks to a distinct multiset that ranks back.
+  for (std::uint32_t k = 2; k <= 5; ++k) {
+    for (std::uint32_t n = 1; n <= 6; ++n) {
+      const MultisetCodec codec{k, n};
+      const std::uint64_t total = codec.count().to_u64();
+      std::set<std::vector<Symbol>> seen;
+      for (std::uint64_t r = 0; r < total; ++r) {
+        const Multiset m = codec.unrank(BigUint{r});
+        EXPECT_EQ(m.size(), n);
+        EXPECT_EQ(m.universe(), k);
+        EXPECT_EQ(codec.rank(m).to_u64(), r);
+        seen.insert(m.to_sorted_sequence());
+      }
+      EXPECT_EQ(seen.size(), total) << "unrank must be injective, k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(MultisetCodec, RankIsLexOrderOfSortedSequences) {
+  // Unranking consecutive ranks yields lexicographically increasing
+  // canonical sequences.
+  const MultisetCodec codec{4, 3};
+  std::vector<Symbol> prev;
+  const std::uint64_t total = codec.count().to_u64();
+  for (std::uint64_t r = 0; r < total; ++r) {
+    const std::vector<Symbol> cur = codec.unrank(BigUint{r}).to_sorted_sequence();
+    if (r > 0) {
+      EXPECT_TRUE(std::lexicographical_compare(prev.begin(), prev.end(), cur.begin(), cur.end()))
+          << "rank " << r;
+    }
+    prev = cur;
+  }
+}
+
+TEST(MultisetCodec, ExtremeRanks) {
+  const MultisetCodec codec{5, 4};
+  // Rank 0 is the all-zeros multiset; the max rank is all (k-1)s.
+  EXPECT_EQ(codec.unrank(BigUint{}).to_sorted_sequence(), (std::vector<Symbol>{0, 0, 0, 0}));
+  const BigUint last = codec.count() - BigUint{1};
+  EXPECT_EQ(codec.unrank(last).to_sorted_sequence(), (std::vector<Symbol>{4, 4, 4, 4}));
+}
+
+TEST(MultisetCodec, RankRejectsWrongShape) {
+  const MultisetCodec codec{3, 4};
+  Multiset wrong_universe{4};
+  for (int i = 0; i < 4; ++i) wrong_universe.add(0);
+  EXPECT_THROW((void)codec.rank(wrong_universe), ContractViolation);
+  Multiset wrong_size{3};
+  wrong_size.add(0);
+  EXPECT_THROW((void)codec.rank(wrong_size), ContractViolation);
+  EXPECT_THROW((void)codec.unrank(codec.count()), ContractViolation);  // out of range
+}
+
+TEST(MultisetCodec, RandomRoundTripLargeParameters) {
+  // Large (k, n) where μ is astronomically big: round-trip random ranks.
+  Rng rng{0x5EED};
+  const MultisetCodec codec{16, 64};  // μ_16(64) ≈ 2^49.6
+  const std::size_t bits = codec.count().bit_length() - 1;
+  for (int iter = 0; iter < 200; ++iter) {
+    BigUint r{rng.next_u64()};
+    r = r % codec.count();
+    const Multiset m = codec.unrank(r);
+    EXPECT_EQ(m.size(), 64u);
+    EXPECT_EQ(codec.rank(m), r);
+  }
+  EXPECT_GE(bits, 45u);
+}
+
+TEST(MultisetCodec, HugeParametersStayExact) {
+  // δ=256, k=64: μ has hundreds of bits; identity must still hold exactly.
+  const MultisetCodec codec{64, 256};
+  const BigUint probe = codec.count() - BigUint{12345};
+  EXPECT_EQ(codec.rank(codec.unrank(probe)), probe);
+  EXPECT_GT(codec.count().bit_length(), 100u);
+}
+
+TEST(BitsConversion, RoundTrip) {
+  Rng rng{77};
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t width = 1 + rng.next_below(120);
+    std::vector<std::uint8_t> bits(width);
+    for (auto& b : bits) b = rng.next_bool() ? 1 : 0;
+    const BigUint v = bits_to_biguint(bits);
+    EXPECT_EQ(biguint_to_bits(v, width), bits);
+  }
+}
+
+TEST(BitsConversion, Checks) {
+  const std::uint8_t bad[] = {0, 2, 1};
+  EXPECT_THROW((void)bits_to_biguint(bad), ContractViolation);
+  EXPECT_THROW((void)biguint_to_bits(BigUint{4}, 2), ContractViolation);  // needs 3 bits
+  EXPECT_EQ(biguint_to_bits(BigUint{}, 3), (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(BitsConversion, MsbFirst) {
+  const std::uint8_t bits[] = {1, 0, 1};  // 0b101 = 5
+  EXPECT_EQ(bits_to_biguint(bits).to_u64(), 5u);
+}
+
+}  // namespace
+}  // namespace rstp::combinatorics

@@ -1,0 +1,213 @@
+// Randomized property tests over the whole stack. Every case is seeded and
+// reproducible; the trace verifier (independently implemented) is the oracle.
+//
+// Properties checked, per the paper's problem statement (§4):
+//   P1  Safety: at every moment Y is a prefix of X (checked by the verifier
+//       on the full trace, plus on corrupted variants it must reject).
+//   P2  Liveness: every good execution completes with Y = X.
+//   P3  Model conformance: every simulator-produced execution is in good(A).
+//   P4  Effort: worst-case measurements sit between the Theorem 5.3/5.6
+//       lower bounds and the Lemma 6.1/§6.2 upper bounds.
+//   P5  Determinism: identical seeds give identical executions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rstp/common/rng.h"
+#include "rstp/core/bounds.h"
+#include "rstp/core/effort.h"
+#include "rstp/core/verify.h"
+#include "rstp/protocols/factory.h"
+
+namespace rstp::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+/// Random model parameters with 1 ≤ c1 ≤ c2 ≤ d ≤ 16.
+TimingParams random_params(Rng& rng) {
+  const std::int64_t c1 = rng.next_in(1, 4);
+  const std::int64_t c2 = rng.next_in(c1, 8);
+  const std::int64_t d = rng.next_in(c2, 16);
+  return TimingParams::make(c1, c2, d);
+}
+
+Environment random_environment(Rng& rng) {
+  Environment env;
+  const auto scheds = {Environment::Sched::SlowFixed, Environment::Sched::FastFixed,
+                       Environment::Sched::Random, Environment::Sched::Sawtooth};
+  const auto delays = {Environment::Delay::Max, Environment::Delay::Zero,
+                       Environment::Delay::Random};
+  env.transmitter_sched = *(scheds.begin() + rng.next_below(scheds.size()));
+  env.receiver_sched = *(scheds.begin() + rng.next_below(scheds.size()));
+  env.delay = *(delays.begin() + rng.next_below(delays.size()));
+  env.seed = rng.next_u64();
+  return env;
+}
+
+class RandomizedRuns : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedRuns, SafetyLivenessAndModelConformance) {
+  Rng rng{GetParam()};
+  const TimingParams params = random_params(rng);
+  const std::uint32_t k = static_cast<std::uint32_t>(rng.next_in(2, 12));
+  const std::size_t n = static_cast<std::size_t>(rng.next_in(0, 80));
+  const Environment env = random_environment(rng);
+
+  protocols::ProtocolConfig cfg;
+  cfg.params = params;
+  cfg.k = k;
+  cfg.input = make_random_input(n, rng.next_u64());
+
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    SCOPED_TRACE(std::string(protocols::to_string(kind)) + " seed=" +
+                 std::to_string(GetParam()));
+    const ProtocolRun run = run_protocol(kind, cfg, env);
+    EXPECT_TRUE(run.result.quiescent);     // P2: terminates
+    EXPECT_TRUE(run.output_correct);       // P2: Y == X
+    const VerifyResult verdict = verify_trace(run.result.trace, params, cfg.input);
+    EXPECT_TRUE(verdict.ok()) << verdict;  // P1 + P3
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedRuns, ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalTraces) {
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(1, 3, 7);
+  cfg.k = 4;
+  cfg.input = make_random_input(30, 1);
+  const Environment env = Environment::randomized(1234);
+  const ProtocolRun a = run_protocol(ProtocolKind::Gamma, cfg, env);
+  const ProtocolRun b = run_protocol(ProtocolKind::Gamma, cfg, env);
+  ASSERT_EQ(a.result.trace.size(), b.result.trace.size());
+  EXPECT_EQ(a.result.trace.events(), b.result.trace.events());
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(1, 3, 7);
+  cfg.k = 4;
+  cfg.input = make_random_input(30, 1);
+  const ProtocolRun a = run_protocol(ProtocolKind::Gamma, cfg, Environment::randomized(1));
+  const ProtocolRun b = run_protocol(ProtocolKind::Gamma, cfg, Environment::randomized(2));
+  EXPECT_NE(a.result.trace.events(), b.result.trace.events());
+}
+
+TEST(VerifierAsOracle, RejectsTamperedTraces) {
+  // Take a genuinely good trace and corrupt it in several distinct ways; the
+  // verifier must notice each. This guards the guard.
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(1, 2, 6);
+  cfg.k = 4;
+  cfg.input = make_random_input(20, 2);
+  const ProtocolRun run = run_protocol(ProtocolKind::Beta, cfg, Environment::worst_case());
+  ASSERT_TRUE(run.output_correct);
+  const auto& events = run.result.trace.events();
+  ASSERT_TRUE(verify_trace(run.result.trace, cfg.params, cfg.input).ok());
+
+  // Corruption 1: flip one written bit.
+  {
+    ioa::TimedTrace tampered;
+    bool flipped = false;
+    for (auto e : events) {
+      if (!flipped && e.action.kind == ioa::ActionKind::Write) {
+        e.action.message ^= 1;
+        flipped = true;
+      }
+      tampered.append(e);
+    }
+    ASSERT_TRUE(flipped);
+    EXPECT_FALSE(verify_trace(tampered, cfg.params, cfg.input).ok());
+  }
+  // Corruption 2: delete one recv (packet never delivered).
+  {
+    ioa::TimedTrace tampered;
+    bool skipped = false;
+    for (const auto& e : events) {
+      if (!skipped && e.action.kind == ioa::ActionKind::Recv) {
+        skipped = true;
+        continue;
+      }
+      tampered.append(e);
+    }
+    const VerifyResult verdict = verify_trace(tampered, cfg.params, cfg.input);
+    EXPECT_FALSE(verdict.clean_of(ViolationKind::UndeliveredPacket));
+  }
+  // Corruption 3: retime a recv past its deadline.
+  {
+    ioa::TimedTrace tampered;
+    for (const auto& e : events) {
+      if (e.action.kind == ioa::ActionKind::Recv) {
+        // Move every recv to the very end of the execution, far past d.
+        continue;
+      }
+      tampered.append(e);
+    }
+    const Time late = run.result.end_time + Duration{1000};
+    std::uint64_t seq = events.back().seq;
+    for (const auto& e : events) {
+      if (e.action.kind == ioa::ActionKind::Recv) {
+        tampered.append({late, e.actor, e.action, ++seq});
+      }
+    }
+    const VerifyResult verdict = verify_trace(tampered, cfg.params, cfg.input);
+    EXPECT_FALSE(verdict.clean_of(ViolationKind::DeliveryTooLate));
+  }
+}
+
+TEST(EffortProperty, MeasuredAlwaysInsideTheoremBand) {
+  Rng rng{0xEFF0};
+  for (int trial = 0; trial < 12; ++trial) {
+    const TimingParams params = random_params(rng);
+    const std::uint32_t k = static_cast<std::uint32_t>(rng.next_in(2, 16));
+    const BoundsReport bounds = compute_bounds(params, k);
+    SCOPED_TRACE([&] {
+      std::ostringstream os;
+      os << params << " k=" << k;
+      return os.str();
+    }());
+
+    // Bounds assume block-aligned |X| (the paper's mod-B assumption).
+    const auto beta = measure_effort(ProtocolKind::Beta, params, k,
+                                     bounds.beta_bits_per_block * 30,
+                                     Environment::worst_case(), rng.next_u64());
+    ASSERT_TRUE(beta.output_correct);
+    EXPECT_LE(beta.effort, bounds.beta_upper * (1 + 1e-9));
+
+    const auto gamma = measure_effort(ProtocolKind::Gamma, params, k,
+                                      bounds.gamma_bits_per_block * 30,
+                                      Environment::worst_case(), rng.next_u64());
+    ASSERT_TRUE(gamma.output_correct);
+    EXPECT_LE(gamma.effort, bounds.gamma_upper * (1 + 1e-9));
+
+    const auto alpha = measure_effort(ProtocolKind::Alpha, params, 2, 300,
+                                      Environment::worst_case(), rng.next_u64());
+    ASSERT_TRUE(alpha.output_correct);
+    EXPECT_LE(alpha.effort, bounds.alpha_effort * (1 + 1e-9));
+  }
+}
+
+TEST(PrefixProperty, HoldsAtEveryIntermediatePoint) {
+  // Replay a trace event-by-event and check the prefix invariant after each
+  // write — stronger than only checking the final output.
+  protocols::ProtocolConfig cfg;
+  cfg.params = TimingParams::make(2, 3, 9);
+  cfg.k = 8;
+  cfg.input = make_random_input(60, 3);
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    const ProtocolRun run = run_protocol(kind, cfg, Environment::randomized(5));
+    std::size_t written = 0;
+    for (const auto& e : run.result.trace.events()) {
+      if (e.action.kind == ioa::ActionKind::Write) {
+        ASSERT_LT(written, cfg.input.size()) << protocols::to_string(kind);
+        EXPECT_EQ(e.action.message, cfg.input[written]) << protocols::to_string(kind);
+        ++written;
+      }
+    }
+    EXPECT_EQ(written, cfg.input.size()) << protocols::to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace rstp::core

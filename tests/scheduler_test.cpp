@@ -1,0 +1,89 @@
+// Tests for step schedulers (the Σ(A_t, A_r) resolution strategies).
+#include "rstp/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "rstp/common/check.h"
+
+namespace rstp::sim {
+namespace {
+
+const core::TimingParams kParams = core::TimingParams::make(2, 5, 10);
+
+TEST(FixedRate, ConstantGap) {
+  FixedRateScheduler sched{Duration{3}};
+  EXPECT_EQ(sched.first_offset(), Duration{0});
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(sched.next_gap(i), Duration{3});
+  }
+}
+
+TEST(FixedRate, CustomFirstOffset) {
+  FixedRateScheduler sched{Duration{2}, Duration{1}};
+  EXPECT_EQ(sched.first_offset(), Duration{1});
+}
+
+TEST(FixedRate, RejectsNonPositiveGap) {
+  EXPECT_THROW(FixedRateScheduler(Duration{0}), ContractViolation);
+  EXPECT_THROW(FixedRateScheduler(Duration{-1}), ContractViolation);
+  EXPECT_THROW(FixedRateScheduler(Duration{1}, Duration{-1}), ContractViolation);
+}
+
+TEST(SeededRandom, GapsStayInBand) {
+  SeededRandomScheduler sched{Rng{11}, kParams};
+  const Duration first = sched.first_offset();
+  EXPECT_GE(first.ticks(), 0);
+  EXPECT_LE(first, kParams.c2);
+  bool saw_min = false;
+  bool saw_max = false;
+  for (std::uint64_t i = 1; i <= 2000; ++i) {
+    const Duration g = sched.next_gap(i);
+    EXPECT_GE(g, kParams.c1);
+    EXPECT_LE(g, kParams.c2);
+    saw_min |= (g == kParams.c1);
+    saw_max |= (g == kParams.c2);
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(SeededRandom, DeterministicPerSeed) {
+  SeededRandomScheduler a{Rng{21}, kParams};
+  SeededRandomScheduler b{Rng{21}, kParams};
+  EXPECT_EQ(a.first_offset(), b.first_offset());
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    EXPECT_EQ(a.next_gap(i), b.next_gap(i));
+  }
+}
+
+TEST(Sawtooth, AlternatesExtremes) {
+  SawtoothScheduler sched{kParams};
+  EXPECT_EQ(sched.next_gap(2), kParams.c1);
+  EXPECT_EQ(sched.next_gap(3), kParams.c2);
+  EXPECT_EQ(sched.next_gap(4), kParams.c1);
+}
+
+TEST(Drift, RunsOfFastThenSlow) {
+  DriftScheduler sched{kParams, 3};
+  // steps 1..2 in run 0 (fast), 3..5 run 1 (slow), 6..8 run 2 (fast)...
+  EXPECT_EQ(sched.next_gap(1), kParams.c1);
+  EXPECT_EQ(sched.next_gap(2), kParams.c1);
+  EXPECT_EQ(sched.next_gap(3), kParams.c2);
+  EXPECT_EQ(sched.next_gap(5), kParams.c2);
+  EXPECT_EQ(sched.next_gap(6), kParams.c1);
+  EXPECT_THROW(DriftScheduler(kParams, 0), ContractViolation);
+}
+
+TEST(Factories, ProduceWorkingSchedulers) {
+  auto fixed = make_fixed_rate(Duration{4});
+  EXPECT_EQ(fixed->next_gap(1), Duration{4});
+  auto random = make_seeded_random(3, kParams);
+  EXPECT_GE(random->next_gap(1), kParams.c1);
+  auto saw = make_sawtooth(kParams);
+  EXPECT_EQ(saw->first_offset(), Duration{0});
+  auto drift = make_drift(kParams, 2);
+  EXPECT_EQ(drift->next_gap(1), kParams.c1);
+}
+
+}  // namespace
+}  // namespace rstp::sim

@@ -1,0 +1,345 @@
+// Tests for the discrete-event simulator, using purpose-built micro-automata
+// (exercising the ioa::Automaton interface directly, independent of the
+// shipped protocols).
+#include "rstp/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rstp/channel/policies.h"
+#include "rstp/common/check.h"
+
+namespace rstp::sim {
+namespace {
+
+using ioa::Action;
+using ioa::ActionKind;
+using ioa::Actor;
+using ioa::Packet;
+using ioa::ProcessId;
+
+/// Sends payloads 0..n-1, one per step, then stops.
+class CounterSender final : public ioa::Automaton {
+ public:
+  explicit CounterSender(std::uint32_t n) : n_(n) {}
+  [[nodiscard]] std::string_view name() const override { return "counter_sender"; }
+  [[nodiscard]] std::optional<Action> enabled_local() const override {
+    if (sent_ < n_) return Action::send(Packet::to_receiver(sent_));
+    return std::nullopt;
+  }
+  void apply(const Action& action) override {
+    if (action.kind == ActionKind::Recv) {
+      ++acks_;
+      return;
+    }
+    RSTP_CHECK(enabled_local().has_value() && *enabled_local() == action, "not enabled");
+    ++sent_;
+  }
+  [[nodiscard]] bool accepts_input(const Action& a) const override {
+    return a.kind == ActionKind::Recv &&
+           a.packet.direction == Packet::Direction::ReceiverToTransmitter;
+  }
+  [[nodiscard]] bool quiescent() const override { return sent_ >= n_; }
+  [[nodiscard]] std::string snapshot() const override {
+    std::ostringstream os;
+    os << "cs " << sent_ << ' ' << acks_;
+    return os.str();
+  }
+  [[nodiscard]] std::unique_ptr<Automaton> clone() const override {
+    return std::make_unique<CounterSender>(*this);
+  }
+  [[nodiscard]] std::uint32_t acks() const { return acks_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t sent_ = 0;
+  std::uint32_t acks_ = 0;
+};
+
+/// Records arrivals; optionally echoes an ack per arrival; always idles.
+class EchoReceiver final : public ioa::Automaton {
+ public:
+  explicit EchoReceiver(bool echo) : echo_(echo) {}
+  [[nodiscard]] std::string_view name() const override { return "echo_receiver"; }
+  [[nodiscard]] std::optional<Action> enabled_local() const override {
+    if (pending_acks_ > 0) return Action::send(Packet::to_transmitter(0));
+    return Action::internal(1, "idle");
+  }
+  void apply(const Action& action) override {
+    if (action.kind == ActionKind::Recv) {
+      received_.push_back(action.packet.payload);
+      if (echo_) ++pending_acks_;
+      return;
+    }
+    if (action.kind == ActionKind::Send) {
+      --pending_acks_;
+    }
+  }
+  [[nodiscard]] bool accepts_input(const Action& a) const override {
+    return a.kind == ActionKind::Recv &&
+           a.packet.direction == Packet::Direction::TransmitterToReceiver;
+  }
+  [[nodiscard]] bool quiescent() const override { return pending_acks_ == 0; }
+  [[nodiscard]] std::string snapshot() const override {
+    std::ostringstream os;
+    os << "er " << received_.size() << ' ' << pending_acks_;
+    return os.str();
+  }
+  [[nodiscard]] std::unique_ptr<Automaton> clone() const override {
+    return std::make_unique<EchoReceiver>(*this);
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& received() const { return received_; }
+
+ private:
+  bool echo_;
+  std::vector<std::uint32_t> received_;
+  int pending_acks_ = 0;
+};
+
+SimConfig config_for(const core::TimingParams& params) {
+  SimConfig c;
+  c.params = params;
+  return c;
+}
+
+TEST(Simulator, DeliversEverythingAndQuiesces) {
+  const auto params = core::TimingParams::make(1, 1, 3);
+  CounterSender sender{5};
+  EchoReceiver receiver{false};
+  channel::Channel chan{params.d, channel::make_max_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  Simulator sim{sender, receiver, chan, ts, rs, config_for(params)};
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(receiver.received(), (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(result.transmitter_sends, 5u);
+  EXPECT_EQ(result.receiver_sends, 0u);
+  ASSERT_TRUE(result.last_transmitter_send.has_value());
+  // Steps at 0,1,2,3,4 → last send at 4; last delivery at 4+3=7.
+  EXPECT_EQ(*result.last_transmitter_send, at_tick(4));
+  EXPECT_EQ(result.end_time, at_tick(7));
+}
+
+TEST(Simulator, TraceHasDeterministicEventOrdering) {
+  const auto params = core::TimingParams::make(1, 1, 1);
+  CounterSender sender{2};
+  EchoReceiver receiver{false};
+  channel::Channel chan{params.d, channel::make_zero_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  Simulator sim{sender, receiver, chan, ts, rs, config_for(params)};
+  const RunResult result = sim.run();
+  // With zero delay: at t=0 the transmitter's send precedes the delivery
+  // (deliveries-first applies only to packets already in flight), and the
+  // delivery precedes the receiver's step — all at tick 0.
+  const auto& ev = result.trace.events();
+  ASSERT_GE(ev.size(), 3u);
+  EXPECT_EQ(ev[0].actor, Actor::Transmitter);
+  EXPECT_EQ(ev[0].action.kind, ActionKind::Send);
+  EXPECT_EQ(ev[1].actor, Actor::Channel);
+  EXPECT_EQ(ev[1].action.kind, ActionKind::Recv);
+  EXPECT_EQ(ev[2].actor, Actor::Receiver);
+  EXPECT_EQ(ev[0].time, at_tick(0));
+  EXPECT_EQ(ev[2].time, at_tick(0));
+}
+
+TEST(Simulator, AcksFlowBackToTransmitter) {
+  const auto params = core::TimingParams::make(1, 2, 4);
+  CounterSender sender{3};
+  EchoReceiver receiver{true};
+  channel::Channel chan{params.d, channel::make_max_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  Simulator sim{sender, receiver, chan, ts, rs, config_for(params)};
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(sender.acks(), 3u);
+  EXPECT_EQ(result.receiver_sends, 3u);
+}
+
+TEST(Simulator, SlowSchedulerStretchesTime) {
+  const auto params = core::TimingParams::make(1, 5, 5);
+  CounterSender sender{4};
+  EchoReceiver receiver{false};
+  channel::Channel chan{params.d, channel::make_zero_delay()};
+  FixedRateScheduler ts{params.c2};  // steps every 5
+  FixedRateScheduler rs{params.c2};
+  Simulator sim{sender, receiver, chan, ts, rs, config_for(params)};
+  const RunResult result = sim.run();
+  ASSERT_TRUE(result.last_transmitter_send.has_value());
+  EXPECT_EQ(*result.last_transmitter_send, at_tick(15));  // 0,5,10,15
+}
+
+TEST(Simulator, OutOfBandSchedulerIsModelError) {
+  const auto params = core::TimingParams::make(2, 3, 5);
+  CounterSender sender{2};
+  EchoReceiver receiver{false};
+  channel::Channel chan{params.d, channel::make_zero_delay()};
+  FixedRateScheduler bad{Duration{1}};  // gap 1 < c1=2
+  FixedRateScheduler ok{params.c1};
+  Simulator sim{sender, receiver, chan, bad, ok, config_for(params)};
+  EXPECT_THROW((void)sim.run(), ModelError);
+}
+
+TEST(Simulator, FirstOffsetBeyondC2IsModelError) {
+  const auto params = core::TimingParams::make(1, 2, 3);
+  CounterSender sender{1};
+  EchoReceiver receiver{false};
+  channel::Channel chan{params.d, channel::make_zero_delay()};
+  FixedRateScheduler bad{params.c1, Duration{3}};  // first step at 3 > c2=2
+  FixedRateScheduler ok{params.c1};
+  Simulator sim{sender, receiver, chan, bad, ok, config_for(params)};
+  EXPECT_THROW((void)sim.run(), ModelError);
+}
+
+TEST(Simulator, DropInjectionLosesPacketButSimStillTerminates) {
+  const auto params = core::TimingParams::make(1, 1, 2);
+  CounterSender sender{1};
+  EchoReceiver receiver{true};
+  channel::Channel chan{params.d, channel::make_zero_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  SimConfig cfg = config_for(params);
+  cfg.drop_every_nth = 1;  // drop the only data packet
+  cfg.max_events = 100;
+  Simulator sim{sender, receiver, chan, ts, rs, cfg};
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.quiescent);  // sender quiesces even though packet lost
+  EXPECT_EQ(result.dropped_packets, 1u);
+  EXPECT_TRUE(receiver.received().empty());
+}
+
+TEST(Simulator, PerProcessTimingLawsValidatedSeparately) {
+  // Generalized model: the transmitter may run a law the receiver's would
+  // reject. transmitter [1,2], receiver [3,5], d = 6.
+  const auto envelope = core::TimingParams::make(1, 5, 6);
+  CounterSender sender{3};
+  EchoReceiver receiver{false};
+  channel::Channel chan{envelope.d, channel::make_zero_delay()};
+  FixedRateScheduler ts{Duration{2}};  // legal for t [1,2], illegal for r [3,5]
+  FixedRateScheduler rs{Duration{4}};  // legal for r [3,5], illegal for t [1,2]
+  SimConfig cfg = config_for(envelope);
+  cfg.transmitter_params = core::TimingParams::make(1, 2, 6);
+  cfg.receiver_params = core::TimingParams::make(3, 5, 6);
+  Simulator sim{sender, receiver, chan, ts, rs, cfg};
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(receiver.received().size(), 3u);
+}
+
+TEST(Simulator, PerProcessLawViolationCaught) {
+  const auto envelope = core::TimingParams::make(1, 5, 6);
+  CounterSender sender{2};
+  EchoReceiver receiver{false};
+  channel::Channel chan{envelope.d, channel::make_zero_delay()};
+  FixedRateScheduler ts{Duration{4}};  // violates the transmitter's [1,2]
+  FixedRateScheduler rs{Duration{4}};
+  SimConfig cfg = config_for(envelope);
+  cfg.transmitter_params = core::TimingParams::make(1, 2, 6);
+  cfg.receiver_params = core::TimingParams::make(3, 5, 6);
+  Simulator sim{sender, receiver, chan, ts, rs, cfg};
+  EXPECT_THROW((void)sim.run(), ModelError);
+}
+
+TEST(Simulator, MismatchedChannelDelayRejected) {
+  const auto params = core::TimingParams::make(1, 1, 3);
+  CounterSender sender{1};
+  EchoReceiver receiver{false};
+  channel::Channel chan{Duration{4}, channel::make_zero_delay()};  // d mismatch
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  EXPECT_THROW(Simulator(sender, receiver, chan, ts, rs, config_for(params)),
+               ContractViolation);
+}
+
+TEST(Simulator, RunIsSingleShot) {
+  const auto params = core::TimingParams::make(1, 1, 1);
+  CounterSender sender{1};
+  EchoReceiver receiver{false};
+  channel::Channel chan{params.d, channel::make_zero_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  Simulator sim{sender, receiver, chan, ts, rs, config_for(params)};
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), ContractViolation);
+}
+
+TEST(Simulator, ObserverSeesEveryEventInOrder) {
+  const auto params = core::TimingParams::make(1, 1, 2);
+  CounterSender sender{3};
+  EchoReceiver receiver{true};
+  channel::Channel chan{params.d, channel::make_max_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  SimConfig cfg = config_for(params);
+  std::vector<ioa::TimedEvent> seen;
+  cfg.observer = [&seen](const ioa::TimedEvent& e) { seen.push_back(e); };
+  Simulator sim{sender, receiver, chan, ts, rs, cfg};
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.quiescent);
+  // Observer stream must equal the recorded trace exactly.
+  EXPECT_EQ(seen, result.trace.events());
+}
+
+TEST(Simulator, ObserverWorksWithoutTraceRecording) {
+  // The observer enables memory-flat invariant checking on long runs.
+  const auto params = core::TimingParams::make(1, 1, 2);
+  CounterSender sender{50};
+  EchoReceiver receiver{true};
+  channel::Channel chan{params.d, channel::make_max_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  SimConfig cfg = config_for(params);
+  cfg.record_trace = false;
+  std::uint64_t events = 0;
+  std::int64_t in_flight = 0;
+  cfg.observer = [&](const ioa::TimedEvent& e) {
+    ++events;
+    if (e.action.kind == ActionKind::Send) ++in_flight;
+    if (e.action.kind == ActionKind::Recv) --in_flight;
+    ASSERT_GE(in_flight, 0) << "a recv without a matching prior send";
+  };
+  Simulator sim{sender, receiver, chan, ts, rs, cfg};
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(events, result.event_count);
+  EXPECT_EQ(in_flight, 0);
+}
+
+TEST(Simulator, ObserverExceptionAbortsRun) {
+  const auto params = core::TimingParams::make(1, 1, 2);
+  CounterSender sender{5};
+  EchoReceiver receiver{false};
+  channel::Channel chan{params.d, channel::make_zero_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  SimConfig cfg = config_for(params);
+  cfg.observer = [](const ioa::TimedEvent& e) {
+    if (e.action.kind == ActionKind::Recv) {
+      throw ModelError("stop at first delivery");
+    }
+  };
+  Simulator sim{sender, receiver, chan, ts, rs, cfg};
+  EXPECT_THROW((void)sim.run(), ModelError);
+}
+
+TEST(Simulator, RecordTraceOffKeepsCountsOnly) {
+  const auto params = core::TimingParams::make(1, 1, 2);
+  CounterSender sender{3};
+  EchoReceiver receiver{false};
+  channel::Channel chan{params.d, channel::make_max_delay()};
+  FixedRateScheduler ts{params.c1};
+  FixedRateScheduler rs{params.c1};
+  SimConfig cfg = config_for(params);
+  cfg.record_trace = false;
+  Simulator sim{sender, receiver, chan, ts, rs, cfg};
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.transmitter_sends, 3u);
+  EXPECT_GT(result.event_count, 0u);
+}
+
+}  // namespace
+}  // namespace rstp::sim

@@ -1,0 +1,123 @@
+// Soak suite: a broad randomized campaign over the whole configuration space
+// — protocols × timing parameters × alphabet sizes × schedulers × delivery
+// policies × input lengths — with every run checked for termination,
+// correctness, and good(A) membership by the independent verifier, and its
+// trace round-tripped through the serializer.
+//
+// This is the repository's crash-net: it exists to surface interaction bugs
+// none of the targeted suites think to write. Everything is seeded; a
+// failure prints the campaign seed to reproduce.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rstp/common/rng.h"
+#include "rstp/core/effort.h"
+#include "rstp/core/trace_stats.h"
+#include "rstp/core/verify.h"
+#include "rstp/general/run.h"
+#include "rstp/ioa/trace_io.h"
+#include "rstp/protocols/factory.h"
+
+namespace rstp::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+constexpr ProtocolKind kSoakKinds[] = {ProtocolKind::Alpha,   ProtocolKind::Beta,
+                                       ProtocolKind::Gamma,   ProtocolKind::AltBit,
+                                       ProtocolKind::Indexed, ProtocolKind::WindowedGamma};
+
+TEST(Soak, BaseModelCampaign) {
+  Rng rng{0x50AC0001};
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::int64_t c1 = rng.next_in(1, 5);
+    const std::int64_t c2 = rng.next_in(c1, 10);
+    const std::int64_t d = rng.next_in(c2, 24);
+    const TimingParams params = TimingParams::make(c1, c2, d);
+    const std::size_t n = static_cast<std::size_t>(rng.next_in(0, 64));
+    const auto kind = kSoakKinds[rng.next_below(std::size(kSoakKinds))];
+
+    protocols::ProtocolConfig cfg;
+    cfg.params = params;
+    if (kind == ProtocolKind::Indexed) {
+      cfg.k = static_cast<std::uint32_t>(2 * std::max<std::size_t>(1, n));
+    } else if (kind == ProtocolKind::WindowedGamma) {
+      cfg.k = 2 * static_cast<std::uint32_t>(rng.next_in(2, 10));  // even, >= 4
+    } else {
+      cfg.k = static_cast<std::uint32_t>(rng.next_in(2, 20));
+    }
+    cfg.input = make_random_input(n, rng.next_u64());
+
+    Environment env;
+    const Environment::Sched scheds[] = {Environment::Sched::SlowFixed,
+                                         Environment::Sched::FastFixed,
+                                         Environment::Sched::Random,
+                                         Environment::Sched::Sawtooth};
+    env.transmitter_sched = scheds[rng.next_below(4)];
+    env.receiver_sched = scheds[rng.next_below(4)];
+    const Environment::Delay delays[] = {Environment::Delay::Max, Environment::Delay::Zero,
+                                         Environment::Delay::Random};
+    env.delay = delays[rng.next_below(3)];
+    env.seed = rng.next_u64();
+
+    std::ostringstream ctx;
+    ctx << "trial " << trial << ": " << protocols::to_string(kind) << " " << params
+        << " k=" << cfg.k << " n=" << n;
+    SCOPED_TRACE(ctx.str());
+
+    const ProtocolRun run = run_protocol(kind, cfg, env);
+    ASSERT_TRUE(run.result.quiescent);
+    ASSERT_TRUE(run.output_correct);
+    const VerifyResult verdict = verify_trace(run.result.trace, params, cfg.input);
+    ASSERT_TRUE(verdict.ok()) << verdict;
+
+    // Serializer round trip must be lossless on every shape of trace.
+    const ioa::TimedTrace parsed =
+        ioa::parse_trace_string(ioa::trace_to_string(run.result.trace));
+    ASSERT_EQ(parsed.events(), run.result.trace.events());
+
+    // Stats must be internally consistent with the run.
+    const TraceStats stats = compute_trace_stats(run.result.trace);
+    ASSERT_EQ(stats.writes, n);
+    ASSERT_EQ(stats.data.unmatched_sends, 0u);
+    if (stats.data.max_delay.has_value()) {
+      ASSERT_LE(stats.data.max_delay->ticks(), d);
+    }
+  }
+}
+
+TEST(Soak, GeneralModelCampaign) {
+  Rng rng{0x50AC0002};
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::int64_t t_c1 = rng.next_in(1, 4);
+    const std::int64_t t_c2 = rng.next_in(t_c1, 8);
+    const std::int64_t r_c1 = rng.next_in(1, 4);
+    const std::int64_t r_c2 = rng.next_in(r_c1, 8);
+    const std::int64_t d_hi = rng.next_in(std::max(t_c2, r_c2), 20);
+    const std::int64_t d_lo = rng.next_in(0, d_hi);
+    general::GeneralTimingParams g{Duration{t_c1}, Duration{t_c2}, Duration{r_c1},
+                                   Duration{r_c2}, Duration{d_lo}, Duration{d_hi}};
+    const std::size_t n = static_cast<std::size_t>(rng.next_in(0, 48));
+    const ProtocolKind kinds[] = {ProtocolKind::Alpha, ProtocolKind::Beta, ProtocolKind::Gamma,
+                                  ProtocolKind::AltBit};
+    const auto kind = kinds[rng.next_below(4)];
+    const auto k = static_cast<std::uint32_t>(rng.next_in(2, 12));
+    const auto input = make_random_input(n, rng.next_u64());
+
+    std::ostringstream ctx;
+    ctx << "trial " << trial << ": " << protocols::to_string(kind) << " " << g << " k=" << k
+        << " n=" << n;
+    SCOPED_TRACE(ctx.str());
+
+    const ProtocolRun run = general::run_general_protocol(
+        kind, g, k, input, general::GeneralEnvironment::randomized(rng.next_u64()));
+    ASSERT_TRUE(run.result.quiescent);
+    ASSERT_TRUE(run.output_correct);
+    const VerifyResult verdict = general::verify_general_trace(run.result.trace, g, input);
+    ASSERT_TRUE(verdict.ok()) << verdict;
+  }
+}
+
+}  // namespace
+}  // namespace rstp::core

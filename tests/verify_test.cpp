@@ -1,0 +1,191 @@
+// Tests for the good(A) trace verifier — including that it REJECTS
+// deliberately corrupted traces (the verifier is the oracle for all the
+// property tests, so its own failure modes need direct coverage).
+#include "rstp/core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "rstp/core/effort.h"
+#include "rstp/protocols/factory.h"
+
+namespace rstp::core {
+namespace {
+
+using ioa::Action;
+using ioa::Actor;
+using ioa::Bit;
+using ioa::Packet;
+using ioa::TimedEvent;
+using ioa::TimedTrace;
+
+const TimingParams kParams = TimingParams::make(2, 3, 6);
+
+/// Hand-built minimal good trace: one bit sent, delivered, written.
+TimedTrace good_trace() {
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::send(Packet::to_receiver(1)), 0});
+  t.append({at_tick(2), Actor::Transmitter, Action::internal(1, "wait_t"), 1});
+  t.append({at_tick(3), Actor::Channel, Action::recv(Packet::to_receiver(1)), 2});
+  t.append({at_tick(4), Actor::Transmitter, Action::internal(1, "wait_t"), 3});
+  t.append({at_tick(5), Actor::Receiver, Action::write(1), 4});
+  return t;
+}
+
+TEST(Verify, AcceptsGoodTrace) {
+  const std::vector<Bit> input = {1};
+  const VerifyResult r = verify_trace(good_trace(), kParams, input);
+  EXPECT_TRUE(r.ok()) << r;
+}
+
+TEST(Verify, EmptyTraceWithEmptyInputIsGood) {
+  const VerifyResult r = verify_trace(TimedTrace{}, kParams, {});
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Verify, FlagsStepGapTooSmall) {
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::internal(1, "wait_t"), 0});
+  t.append({at_tick(1), Actor::Transmitter, Action::internal(1, "wait_t"), 1});  // gap 1 < c1=2
+  const VerifyResult r = verify_trace(t, kParams, {}, {.require_drained = false});
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.clean_of(ViolationKind::StepGapTooSmall));
+}
+
+TEST(Verify, FlagsStepGapTooLarge) {
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Receiver, Action::internal(2, "idle_r"), 0});
+  t.append({at_tick(4), Actor::Receiver, Action::internal(2, "idle_r"), 1});  // gap 4 > c2=3
+  const VerifyResult r = verify_trace(t, kParams, {});
+  EXPECT_FALSE(r.clean_of(ViolationKind::StepGapTooLarge));
+}
+
+TEST(Verify, InputsDoNotCountAsSteps) {
+  // Recv events belong to the channel; a long quiet stretch between a
+  // process's recv inputs is not a gap violation for that process.
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::send(Packet::to_receiver(0)), 0});
+  t.append({at_tick(6), Actor::Channel, Action::recv(Packet::to_receiver(0)), 1});
+  const VerifyResult r =
+      verify_trace(t, kParams, {}, {.require_complete = false, .require_drained = false});
+  EXPECT_TRUE(r.clean_of(ViolationKind::StepGapTooLarge)) << r;
+  EXPECT_TRUE(r.clean_of(ViolationKind::StepGapTooSmall));
+}
+
+TEST(Verify, FirstStepCheckIsOptional) {
+  TimedTrace t;
+  t.append({at_tick(5), Actor::Transmitter, Action::internal(1, "wait_t"), 0});  // first at 5 > c2
+  EXPECT_TRUE(verify_trace(t, kParams, {}, {.require_complete = false}).ok());
+  const VerifyResult strict =
+      verify_trace(t, kParams, {}, {.require_complete = false, .check_first_step = true});
+  EXPECT_FALSE(strict.clean_of(ViolationKind::FirstStepTooLate));
+}
+
+TEST(Verify, FlagsRecvWithoutSend) {
+  TimedTrace t;
+  t.append({at_tick(1), Actor::Channel, Action::recv(Packet::to_receiver(1)), 0});
+  const VerifyResult r = verify_trace(t, kParams, {}, {.require_complete = false});
+  EXPECT_FALSE(r.clean_of(ViolationKind::RecvWithoutSend));
+}
+
+TEST(Verify, FlagsDuplicatedDelivery) {
+  // One send, two recvs: the second recv has no matching send left.
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::send(Packet::to_receiver(1)), 0});
+  t.append({at_tick(1), Actor::Channel, Action::recv(Packet::to_receiver(1)), 1});
+  t.append({at_tick(2), Actor::Channel, Action::recv(Packet::to_receiver(1)), 2});
+  const VerifyResult r = verify_trace(t, kParams, {}, {.require_complete = false});
+  EXPECT_FALSE(r.clean_of(ViolationKind::RecvWithoutSend));
+}
+
+TEST(Verify, FlagsDeliveryTooLate) {
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::send(Packet::to_receiver(1)), 0});
+  t.append({at_tick(7), Actor::Channel, Action::recv(Packet::to_receiver(1)), 1});  // 7 > d=6
+  const VerifyResult r = verify_trace(t, kParams, {}, {.require_complete = false});
+  EXPECT_FALSE(r.clean_of(ViolationKind::DeliveryTooLate));
+}
+
+TEST(Verify, MatchesByPayloadNotJustDirection) {
+  // recv(2) cannot be matched by an outstanding send(1).
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::send(Packet::to_receiver(1)), 0});
+  t.append({at_tick(1), Actor::Channel, Action::recv(Packet::to_receiver(2)), 1});
+  const VerifyResult r = verify_trace(t, kParams, {}, {.require_complete = false});
+  EXPECT_FALSE(r.clean_of(ViolationKind::RecvWithoutSend));
+  EXPECT_FALSE(r.clean_of(ViolationKind::UndeliveredPacket));
+}
+
+TEST(Verify, GreedyMatchingHandlesEqualPayloads) {
+  // Two sends of the same payload; deliveries within d of *some* valid
+  // bijection must pass: send@0, send@3, recv@6, recv@9 — greedy matches
+  // (0→6, 3→9): delays 6 and 6, both ≤ d=6. The reversed matching would
+  // fail (0→9 delay 9), so the verifier must pick the feasible one.
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::send(Packet::to_receiver(1)), 0});
+  t.append({at_tick(3), Actor::Transmitter, Action::send(Packet::to_receiver(1)), 1});
+  t.append({at_tick(6), Actor::Channel, Action::recv(Packet::to_receiver(1)), 2});
+  t.append({at_tick(9), Actor::Channel, Action::recv(Packet::to_receiver(1)), 3});
+  const VerifyResult r = verify_trace(t, kParams, {}, {.require_complete = false});
+  EXPECT_TRUE(r.clean_of(ViolationKind::DeliveryTooLate)) << r;
+}
+
+TEST(Verify, FlagsUndeliveredPacketOnlyWhenDrainedRequired) {
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::send(Packet::to_receiver(1)), 0});
+  EXPECT_FALSE(verify_trace(t, kParams, {}, {.require_complete = false})
+                   .clean_of(ViolationKind::UndeliveredPacket));
+  EXPECT_TRUE(verify_trace(t, kParams, {}, {.require_complete = false, .require_drained = false})
+                  .ok());
+}
+
+TEST(Verify, FlagsWrongWriteValue) {
+  TimedTrace t = good_trace();  // writes 1
+  const std::vector<Bit> input = {0};
+  const VerifyResult r = verify_trace(t, kParams, input);
+  EXPECT_FALSE(r.clean_of(ViolationKind::OutputNotPrefix));
+}
+
+TEST(Verify, FlagsExtraWriteBeyondInput) {
+  TimedTrace t = good_trace();
+  t.append({at_tick(8), Actor::Receiver, Action::write(0), 5});
+  const std::vector<Bit> input = {1};
+  const VerifyResult r = verify_trace(t, kParams, input);
+  EXPECT_FALSE(r.clean_of(ViolationKind::OutputNotPrefix));
+}
+
+TEST(Verify, FlagsIncompleteOutput) {
+  const std::vector<Bit> input = {1, 0};
+  const VerifyResult r = verify_trace(good_trace(), kParams, input);
+  EXPECT_FALSE(r.clean_of(ViolationKind::OutputIncomplete));
+  EXPECT_TRUE(verify_trace(good_trace(), kParams, input, {.require_complete = false})
+                  .clean_of(ViolationKind::OutputIncomplete));
+}
+
+TEST(Verify, ViolationsCarryEventSeqAndPrintable) {
+  TimedTrace t;
+  t.append({at_tick(0), Actor::Transmitter, Action::send(Packet::to_receiver(1)), 0});
+  t.append({at_tick(7), Actor::Channel, Action::recv(Packet::to_receiver(1)), 1});
+  const VerifyResult r = verify_trace(t, kParams, {}, {.require_complete = false});
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].event_seq, 1u);
+  std::ostringstream os;
+  os << r;
+  EXPECT_NE(os.str().find("DeliveryTooLate"), std::string::npos);
+}
+
+TEST(Verify, AcceptsAllShippedProtocolTraces) {
+  // Cross-module smoke: every paper protocol's worst-case trace verifies.
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    protocols::ProtocolConfig cfg;
+    cfg.params = TimingParams::make(1, 2, 6);
+    cfg.k = 4;
+    cfg.input = make_random_input(24, 9);
+    const ProtocolRun run = run_protocol(kind, cfg, Environment::worst_case());
+    ASSERT_TRUE(run.output_correct) << kind;
+    const VerifyResult r = verify_trace(run.result.trace, cfg.params, cfg.input);
+    EXPECT_TRUE(r.ok()) << protocols::to_string(kind) << '\n' << r;
+  }
+}
+
+}  // namespace
+}  // namespace rstp::core

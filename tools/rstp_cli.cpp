@@ -1,0 +1,257 @@
+// rstp — command-line front end to the library.
+//
+//   rstp bounds  <c1> <c2> <d> <k>
+//       Print every closed-form bound for the model.
+//
+//   rstp run     <protocol> <c1> <c2> <d> <k> <n|bits> [options]
+//       Run a protocol end to end and print transfer statistics.
+//         protocol: alpha | beta | gamma | altbit | indexed | strawman
+//         n|bits:   a length (random input, seeded) or a literal 0/1 string
+//         --env worst|fast|random|adversarial   (default worst)
+//         --seed N                              (default 1)
+//         --trace FILE                          write the timed trace
+//         --stats                               print trace statistics
+//
+//   rstp verify  <c1> <c2> <d> <tracefile> <bits>
+//       Check a saved trace against good(A) and the expected output.
+//
+//   rstp explore <protocol> <d> <k> <bits>
+//       Exhaustively verify all schedules (c1=c2=1) for a small instance;
+//       prints a counterexample trace on failure.
+//
+// Exit code 0 on success/verified, 1 on failure, 2 on usage errors.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rstp/core/bounds.h"
+#include "rstp/core/effort.h"
+#include "rstp/core/trace_stats.h"
+#include "rstp/core/verify.h"
+#include "rstp/ioa/explorer.h"
+#include "rstp/ioa/trace_io.h"
+#include "rstp/protocols/factory.h"
+
+namespace {
+
+using namespace rstp;
+using protocols::ProtocolKind;
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  rstp bounds  <c1> <c2> <d> <k>\n"
+               "  rstp run     <protocol> <c1> <c2> <d> <k> <n|bits>"
+               " [--env worst|fast|random|adversarial] [--seed N] [--trace FILE] [--stats]\n"
+               "  rstp verify  <c1> <c2> <d> <tracefile> <bits>\n"
+               "  rstp explore <protocol> <d> <k> <bits>\n";
+  return 2;
+}
+
+std::optional<ProtocolKind> parse_protocol(const std::string& name) {
+  for (const auto kind : protocols::kAllProtocolKinds) {
+    if (name == protocols::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+/// Parses the input argument: a pure 0/1 string of length ≥ 8 is a literal
+/// bit sequence; anything else is a decimal length for a seeded random
+/// input (so "64" is 64 random bits, "01100110" is those exact 8 bits).
+std::vector<ioa::Bit> parse_input(const std::string& text, std::uint64_t seed) {
+  if (text.find_first_not_of("01") == std::string::npos && text.size() >= 8) {
+    std::vector<ioa::Bit> bits;
+    bits.reserve(text.size());
+    for (const char c : text) bits.push_back(static_cast<ioa::Bit>(c - '0'));
+    return bits;
+  }
+  return core::make_random_input(std::stoul(text), seed);
+}
+
+int cmd_bounds(int argc, char** argv) {
+  if (argc != 6) return usage();
+  const auto params = core::TimingParams::make(std::stoll(argv[2]), std::stoll(argv[3]),
+                                               std::stoll(argv[4]));
+  const auto k = static_cast<std::uint32_t>(std::stoul(argv[5]));
+  std::cout << core::compute_bounds(params, k) << '\n';
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 8) return usage();
+  const auto kind = parse_protocol(argv[2]);
+  if (!kind.has_value()) {
+    std::cerr << "unknown protocol '" << argv[2] << "'\n";
+    return 2;
+  }
+  protocols::ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(std::stoll(argv[3]), std::stoll(argv[4]),
+                                        std::stoll(argv[5]));
+  cfg.k = static_cast<std::uint32_t>(std::stoul(argv[6]));
+
+  core::Environment env = core::Environment::worst_case();
+  std::uint64_t seed = 1;
+  std::string trace_file;
+  bool want_stats = false;
+  for (int i = 8; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--env" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "worst") {
+        env = core::Environment::worst_case();
+      } else if (name == "fast") {
+        env.transmitter_sched = core::Environment::Sched::FastFixed;
+        env.receiver_sched = core::Environment::Sched::FastFixed;
+        env.delay = core::Environment::Delay::Zero;
+      } else if (name == "random") {
+        env = core::Environment::randomized(seed);
+      } else if (name == "adversarial") {
+        env = core::Environment::adversarial_fast();
+      } else {
+        std::cerr << "unknown environment '" << name << "'\n";
+        return 2;
+      }
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+      env.seed = seed;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+  cfg.input = parse_input(argv[7], seed);
+  if (*kind == ProtocolKind::Indexed) {
+    cfg.k = std::max<std::uint32_t>(cfg.k,
+                                    static_cast<std::uint32_t>(2 * std::max<std::size_t>(
+                                                                       1, cfg.input.size())));
+  }
+
+  const core::ProtocolRun run = core::run_protocol(*kind, cfg, env);
+  std::cout << "protocol:   " << protocols::to_string(*kind) << "\n"
+            << "model:      " << cfg.params << " k=" << cfg.k << "\n"
+            << "input bits: " << cfg.input.size() << "\n"
+            << "completed:  " << (run.result.quiescent ? "yes" : "NO") << "\n"
+            << "correct:    " << (run.output_correct ? "yes" : "NO") << "\n";
+  if (run.result.last_transmitter_send.has_value() && !cfg.input.empty()) {
+    const double effort =
+        static_cast<double>((*run.result.last_transmitter_send - Time::zero()).ticks()) /
+        static_cast<double>(cfg.input.size());
+    std::cout << "effort:     " << effort << " ticks/bit\n";
+  }
+  const core::VerifyResult verdict = core::verify_trace(run.result.trace, cfg.params, cfg.input);
+  std::cout << "verifier:   " << (verdict.ok() ? "accepts (in good(A))" : "REJECTS") << '\n';
+  if (!verdict.ok()) std::cout << verdict;
+  if (want_stats) {
+    std::cout << core::compute_trace_stats(run.result.trace) << '\n';
+  }
+  if (!trace_file.empty()) {
+    std::ofstream out{trace_file};
+    if (!out) {
+      std::cerr << "cannot open '" << trace_file << "'\n";
+      return 1;
+    }
+    ioa::write_trace(out, run.result.trace);
+    std::cout << "trace:      written to " << trace_file << " (" << run.result.trace.size()
+              << " events)\n";
+  }
+  return run.output_correct && verdict.ok() ? 0 : 1;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc != 7) return usage();
+  const auto params = core::TimingParams::make(std::stoll(argv[2]), std::stoll(argv[3]),
+                                               std::stoll(argv[4]));
+  std::ifstream in{argv[5]};
+  if (!in) {
+    std::cerr << "cannot open '" << argv[5] << "'\n";
+    return 1;
+  }
+  const ioa::TimedTrace trace = ioa::parse_trace(in);
+  std::vector<ioa::Bit> expected;
+  for (const char c : std::string{argv[6]}) {
+    if (c != '0' && c != '1') {
+      std::cerr << "expected-output must be a 0/1 string\n";
+      return 2;
+    }
+    expected.push_back(static_cast<ioa::Bit>(c - '0'));
+  }
+  const core::VerifyResult verdict = core::verify_trace(trace, params, expected);
+  std::cout << verdict << '\n';
+  return verdict.ok() ? 0 : 1;
+}
+
+int cmd_explore(int argc, char** argv) {
+  if (argc != 6) return usage();
+  const auto kind = parse_protocol(argv[2]);
+  if (!kind.has_value()) {
+    std::cerr << "unknown protocol '" << argv[2] << "'\n";
+    return 2;
+  }
+  const std::int64_t d = std::stoll(argv[3]);
+  protocols::ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(1, 1, d);
+  cfg.k = static_cast<std::uint32_t>(std::stoul(argv[4]));
+  for (const char c : std::string{argv[5]}) {
+    if (c != '0' && c != '1') {
+      std::cerr << "input must be a 0/1 string\n";
+      return 2;
+    }
+    cfg.input.push_back(static_cast<ioa::Bit>(c - '0'));
+  }
+  if (*kind == ProtocolKind::Indexed) {
+    cfg.k = std::max<std::uint32_t>(
+        cfg.k, static_cast<std::uint32_t>(2 * std::max<std::size_t>(1, cfg.input.size())));
+  }
+  const auto instance = protocols::make_protocol(*kind, cfg);
+  ioa::ExplorerConfig config;
+  config.d = d;
+  const auto& input = cfg.input;
+  const auto prefix = [&input](const ioa::Automaton&, const ioa::Automaton& r) {
+    const auto& out = dynamic_cast<const protocols::ReceiverBase&>(r).output();
+    return out.size() <= input.size() && std::equal(out.begin(), out.end(), input.begin());
+  };
+  const auto complete = [&input](const ioa::Automaton&, const ioa::Automaton& r) {
+    return dynamic_cast<const protocols::ReceiverBase&>(r).output() == input;
+  };
+  ioa::Explorer explorer{*instance.transmitter, *instance.receiver, config, prefix, complete};
+  const ioa::ExplorerResult result = explorer.run();
+  std::cout << "states:      " << result.distinct_states << "\n"
+            << "transitions: " << result.transitions << "\n"
+            << "terminals:   " << result.terminal_states << "\n"
+            << "verdict:     " << (result.verified() ? "VERIFIED over all schedules"
+                                                     : "VIOLATION FOUND")
+            << '\n';
+  if (!result.verified()) {
+    if (result.exhausted_caps) {
+      std::cout << "(state/branching caps exhausted — result inconclusive)\n";
+    }
+    if (!result.counterexample.empty()) {
+      std::cout << "\ncounterexample:\n";
+      ioa::write_trace(std::cout, result.counterexample);
+    }
+  }
+  return result.verified() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "bounds") return cmd_bounds(argc, argv);
+    if (command == "run") return cmd_run(argc, argv);
+    if (command == "verify") return cmd_verify(argc, argv);
+    if (command == "explore") return cmd_explore(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
