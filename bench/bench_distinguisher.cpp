@@ -41,9 +41,10 @@ int main() {
     std::size_t max_windows = 0;
     const std::size_t total = std::size_t{1} << n;
     for (std::size_t v = 0; v < total; ++v) {
-      std::vector<Bit> x(n);
+      std::vector<Bit> x;
+      x.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        x[i] = static_cast<Bit>((v >> (n - 1 - i)) & 1u);
+        x.push_back(static_cast<Bit>((v >> (n - 1 - i)) & 1u));
       }
       protocols::ProtocolConfig cfg;
       cfg.params = params;

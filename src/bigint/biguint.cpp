@@ -102,7 +102,25 @@ std::string BigUint::to_decimal() const {
 }
 
 BigUint& BigUint::operator+=(const BigUint& rhs) {
+  // Single-limb fast path: the codec's small-k values live here, and the
+  // general path's resize/push_back would touch the allocator per operation.
+  if (limbs_.size() <= 1 && rhs.limbs_.size() <= 1) {
+    const u64 a = limbs_.empty() ? 0 : limbs_[0];
+    const u64 b = rhs.limbs_.empty() ? 0 : rhs.limbs_[0];
+    const u128 sum = static_cast<u128>(a) + b;
+    const u64 lo = static_cast<u64>(sum);
+    const u64 hi = static_cast<u64>(sum >> kLimbBits);
+    if (hi != 0) {
+      limbs_.assign({lo, hi});
+    } else if (lo != 0) {
+      limbs_.assign(1, lo);
+    } else {
+      limbs_.clear();
+    }
+    return *this;
+  }
   const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.reserve(n + 1);  // one allocation even if the final carry spills
   limbs_.resize(n, 0);
   u64 carry = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -117,6 +135,17 @@ BigUint& BigUint::operator+=(const BigUint& rhs) {
 
 BigUint& BigUint::operator-=(const BigUint& rhs) {
   RSTP_CHECK(*this >= rhs, "BigUint subtraction underflow");
+  if (limbs_.size() <= 1) {  // rhs.size() <= 1 follows from *this >= rhs
+    const u64 a = limbs_.empty() ? 0 : limbs_[0];
+    const u64 b = rhs.limbs_.empty() ? 0 : rhs.limbs_[0];
+    const u64 diff = a - b;
+    if (diff != 0) {
+      limbs_.assign(1, diff);
+    } else {
+      limbs_.clear();
+    }
+    return *this;
+  }
   u64 borrow = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     const u64 b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
@@ -226,6 +255,19 @@ BigUint& BigUint::mul_u64(u64 factor) {
 }
 
 BigUint& BigUint::add_u64(u64 addend) {
+  if (limbs_.size() <= 1) {
+    const u128 sum = static_cast<u128>(limbs_.empty() ? 0 : limbs_[0]) + addend;
+    const u64 lo = static_cast<u64>(sum);
+    const u64 hi = static_cast<u64>(sum >> kLimbBits);
+    if (hi != 0) {
+      limbs_.assign({lo, hi});
+    } else if (lo != 0) {
+      limbs_.assign(1, lo);
+    } else {
+      limbs_.clear();
+    }
+    return *this;
+  }
   u64 carry = addend;
   for (auto& limb : limbs_) {
     if (carry == 0) break;
@@ -268,6 +310,9 @@ BigUint::DivModResult BigUint::divmod(const BigUint& numerator, const BigUint& d
 }
 
 std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() == 1 && b.limbs_.size() == 1) {  // dominant codec case
+    return a.limbs_[0] <=> b.limbs_[0];
+  }
   if (a.limbs_.size() != b.limbs_.size()) {
     return a.limbs_.size() <=> b.limbs_.size();
   }

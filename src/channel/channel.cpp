@@ -16,6 +16,12 @@ namespace {
   return a.send_seq < b.send_seq;
 }
 
+/// std::push_heap/pop_heap build a max-heap w.r.t. the comparator; inverting
+/// the delivery order puts the earliest delivery at the front.
+[[nodiscard]] bool delivers_after(const InFlightPacket& a, const InFlightPacket& b) {
+  return delivers_before(b, a);
+}
+
 }  // namespace
 
 Channel::Channel(Duration max_delay, std::unique_ptr<DeliveryPolicy> policy, Duration min_delay)
@@ -36,12 +42,9 @@ void Channel::send(const ioa::Packet& packet, Time now) {
        << deadline << "]";
     throw ModelError(os.str());
   }
-  InFlightPacket entry{packet, now, choice.when, choice.order_key, send_seq_};
+  in_flight_.push_back(InFlightPacket{packet, now, choice.when, choice.order_key, send_seq_});
+  std::push_heap(in_flight_.begin(), in_flight_.end(), delivers_after);
   ++send_seq_;
-  // Insert keeping the in-flight list sorted by delivery order; traffic in
-  // this model is small enough that O(n) insertion is irrelevant.
-  const auto pos = std::upper_bound(in_flight_.begin(), in_flight_.end(), entry, delivers_before);
-  in_flight_.insert(pos, entry);
 }
 
 std::optional<Time> Channel::next_delivery_time() const {
@@ -49,13 +52,19 @@ std::optional<Time> Channel::next_delivery_time() const {
   return in_flight_.front().deliver_at;
 }
 
-std::vector<InFlightPacket> Channel::collect_due(Time now) {
-  const auto split = std::partition_point(
-      in_flight_.begin(), in_flight_.end(),
-      [now](const InFlightPacket& p) { return p.deliver_at <= now; });
-  std::vector<InFlightPacket> due(in_flight_.begin(), split);
-  in_flight_.erase(in_flight_.begin(), split);
-  return due;
+const std::vector<InFlightPacket>& Channel::collect_due(Time now) {
+  due_scratch_.clear();
+  while (!in_flight_.empty() && in_flight_.front().deliver_at <= now) {
+    std::pop_heap(in_flight_.begin(), in_flight_.end(), delivers_after);
+    due_scratch_.push_back(std::move(in_flight_.back()));
+    in_flight_.pop_back();
+    // Heap pops must come out in delivery order — the tie rule the simulator
+    // and the §4 interleaving semantics rely on.
+    RSTP_CHECK(due_scratch_.size() < 2 ||
+                   !delivers_before(due_scratch_.back(), due_scratch_[due_scratch_.size() - 2]),
+               "channel delivery order violated");
+  }
+  return due_scratch_;
 }
 
 }  // namespace rstp::channel

@@ -75,8 +75,10 @@ class Channel {
   [[nodiscard]] std::optional<Time> next_delivery_time() const;
 
   /// Pops and returns every packet whose delivery instant is ≤ `now`, in
-  /// delivery order (time, order_key, send_seq).
-  [[nodiscard]] std::vector<InFlightPacket> collect_due(Time now);
+  /// delivery order (time, order_key, send_seq). The returned reference is to
+  /// a reusable internal buffer: it stays valid until the next collect_due
+  /// call and never allocates on the steady state (copy it to keep it).
+  [[nodiscard]] const std::vector<InFlightPacket>& collect_due(Time now);
 
   [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
   [[nodiscard]] bool empty() const { return in_flight_.empty(); }
@@ -90,7 +92,10 @@ class Channel {
   Duration max_delay_;
   Duration min_delay_;
   std::unique_ptr<DeliveryPolicy> policy_;
-  std::vector<InFlightPacket> in_flight_;  // kept sorted by delivery order
+  // Binary min-heap on (deliver_at, order_key, send_seq): O(log n) send and
+  // pop instead of the previous sorted vector's O(n) insert.
+  std::vector<InFlightPacket> in_flight_;
+  std::vector<InFlightPacket> due_scratch_;  // reused by collect_due
   std::uint64_t send_seq_ = 0;
 };
 

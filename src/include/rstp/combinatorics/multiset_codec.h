@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,9 @@ class Multiset {
 
   /// Builds the multiset of a symbol sequence (any order).
   [[nodiscard]] static Multiset from_symbols(std::uint32_t k, std::span<const Symbol> symbols);
+
+  /// Adopts a per-symbol count vector directly (universe = counts.size() >= 1).
+  [[nodiscard]] static Multiset from_counts(std::vector<std::uint32_t> counts);
 
   /// Universe size k.
   [[nodiscard]] std::uint32_t universe() const { return static_cast<std::uint32_t>(counts_.size()); }
@@ -58,15 +62,30 @@ class Multiset {
   friend bool operator==(const Multiset&, const Multiset&) = default;
 
  private:
+  Multiset() = default;  // for from_counts, which adopts the vector wholesale
+
   std::vector<std::uint32_t> counts_;
   std::uint32_t size_ = 0;
 };
 
+/// The precomputed counting tables shared by every codec instance with the
+/// same (k, n): the μ-table of the Pascal-style recurrence plus its
+/// per-position cumulative sums (see MultisetCodec). Immutable once built,
+/// so instances on different threads may share one safely.
+struct MultisetTables;
+
 /// Rank/unrank bijection between multi_k(n) and [0, μ_k(n)).
 ///
 /// Construction: μ-table via the Pascal-style recurrence
-/// μ_j(L) = μ_{j-1}(L) + μ_j(L-1), precomputed once per (k, n); rank and
-/// unrank then run in O(n·k) BigUint additions/comparisons.
+/// μ_j(L) = μ_{j-1}(L) + μ_j(L-1), plus cumulative suffix-count sums
+/// cum_L(c) = Σ_{c'<c} μ_{k-c'}(L). The tables are interned in a
+/// process-wide cache keyed on (k, n), so constructing many codecs for the
+/// same parameters (one per block/protocol instance, or one per campaign
+/// job) builds them exactly once. With the cumulative table, rank() costs
+/// at most one BigUint add + subtract per symbol change (none for repeats)
+/// and unrank() one comparison per repeated symbol plus a galloping search
+/// per change — O(n + min(k, n) log k) BigUint operations instead of the
+/// recurrence walk's O(n·k) worst case.
 class MultisetCodec {
  public:
   /// Requires k >= 1, n >= 0.
@@ -84,6 +103,12 @@ class MultisetCodec {
   /// Inverse of rank(). Requires value < μ_k(n).
   [[nodiscard]] Multiset unrank(const bigint::BigUint& value) const;
 
+  /// The original O(n·k) recurrence-walk implementations, kept as the
+  /// differential-testing and benchmarking reference for the cumulative-table
+  /// fast paths above. Semantically identical to rank()/unrank().
+  [[nodiscard]] bigint::BigUint rank_reference(const Multiset& m) const;
+  [[nodiscard]] Multiset unrank_reference(const bigint::BigUint& value) const;
+
  private:
   /// μ_j(L) — number of non-decreasing length-L sequences over a j-symbol
   /// suffix universe; used as the suffix-count in ranking.
@@ -91,8 +116,7 @@ class MultisetCodec {
 
   std::uint32_t k_;
   std::uint32_t n_;
-  // mu_table_[j][L] = μ_j(L) for j in [0..k], L in [0..n].
-  std::vector<std::vector<bigint::BigUint>> mu_table_;
+  std::shared_ptr<const MultisetTables> tables_;  // interned per (k, n)
 };
 
 /// Converts a bit string (MSB first) to the integer it denotes.

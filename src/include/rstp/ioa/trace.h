@@ -52,6 +52,10 @@ class TimedTrace {
   /// increasing (enforced).
   void append(TimedEvent event);
 
+  /// Pre-allocates storage for `events` appends (producers that know the
+  /// execution's rough length avoid reallocation churn on the hot path).
+  void reserve(std::size_t events) { events_.reserve(events); }
+
   [[nodiscard]] const std::vector<TimedEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] bool empty() const { return events_.empty(); }

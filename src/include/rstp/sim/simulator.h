@@ -100,6 +100,7 @@ class Simulator {
   SimConfig config_;
   ProcessState procs_[2];  // indexed by ProcessId
   std::uint64_t next_seq_ = 0;
+  bool record_events_ = false;  ///< cached record_trace || observer
   bool ran_ = false;
 };
 

@@ -1,0 +1,190 @@
+#include "rstp/sim/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "rstp/common/check.h"
+#include "rstp/common/rng.h"
+
+namespace rstp::sim {
+
+void CampaignSpec::validate() const {
+  RSTP_CHECK(!protocols.empty(), "campaign needs at least one protocol");
+  RSTP_CHECK(!timings.empty(), "campaign needs at least one timing point");
+  RSTP_CHECK(!alphabets.empty(), "campaign needs at least one alphabet size");
+  RSTP_CHECK(!environments.empty(), "campaign needs at least one environment");
+  RSTP_CHECK_GE(seeds_per_cell, 1u, "campaign needs at least one seed per cell");
+  for (const core::TimingParams& t : timings) t.validate();
+  for (const std::uint32_t k : alphabets) {
+    RSTP_CHECK_GE(k, 2u, "campaign alphabets need k >= 2");
+  }
+}
+
+std::size_t CampaignSpec::job_count() const {
+  return protocols.size() * timings.size() * alphabets.size() * environments.size() *
+         seeds_per_cell;
+}
+
+Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) { spec_.validate(); }
+
+CampaignJob Campaign::job(std::size_t index) const {
+  RSTP_CHECK_LT(index, job_count(), "campaign job index out of range");
+  // Grid order: protocol-major, seed replica fastest.
+  std::size_t rest = index;
+  const std::size_t seed_i = rest % spec_.seeds_per_cell;
+  rest /= spec_.seeds_per_cell;
+  const std::size_t env_i = rest % spec_.environments.size();
+  rest /= spec_.environments.size();
+  const std::size_t k_i = rest % spec_.alphabets.size();
+  rest /= spec_.alphabets.size();
+  const std::size_t timing_i = rest % spec_.timings.size();
+  rest /= spec_.timings.size();
+  const std::size_t proto_i = rest;
+  (void)seed_i;  // folded into the index that seeds the SplitMix64 stream
+
+  CampaignJob job;
+  job.index = index;
+  job.protocol = spec_.protocols[proto_i];
+  job.params = spec_.timings[timing_i];
+  job.k = spec_.alphabets[k_i];
+  job.environment = spec_.environments[env_i];
+  // Per-job deterministic streams: SplitMix64 over campaign_seed + index
+  // yields the environment seed, then the input seed. A job's randomness
+  // depends only on (campaign_seed, index) — never on which worker ran it.
+  std::uint64_t state = spec_.campaign_seed + static_cast<std::uint64_t>(index);
+  job.environment.seed = splitmix64(state);
+  job.input_seed = splitmix64(state);
+  return job;
+}
+
+CampaignJobResult run_campaign_job(const CampaignJob& job, std::size_t input_bits,
+                                   std::uint64_t max_events) {
+  CampaignJobResult r;
+  r.index = job.index;
+  r.protocol = job.protocol;
+  r.params = job.params;
+  r.k = job.k;
+  r.env_seed = job.environment.seed;
+  try {
+    protocols::ProtocolConfig config;
+    config.params = job.params;
+    config.k = job.k;
+    config.input = core::make_random_input(input_bits, job.input_seed);
+    if (job.protocol == protocols::ProtocolKind::Indexed) {
+      // The indexed baseline needs an alphabet of at least 2|X| symbols.
+      config.k = std::max<std::uint32_t>(
+          config.k, static_cast<std::uint32_t>(2 * std::max<std::size_t>(1, input_bits)));
+    }
+    const core::ProtocolRun run = core::run_protocol(job.protocol, config, job.environment,
+                                                     /*record_trace=*/false, max_events);
+    r.event_count = run.result.event_count;
+    r.transmitter_steps = run.result.transmitter_steps;
+    r.receiver_steps = run.result.receiver_steps;
+    r.transmitter_sends = run.result.transmitter_sends;
+    r.receiver_sends = run.result.receiver_sends;
+    r.output_correct = run.output_correct;
+    r.quiescent = run.result.quiescent;
+    if (input_bits > 0 && run.result.last_transmitter_send.has_value()) {
+      r.effort = static_cast<double>(
+                     (*run.result.last_transmitter_send - Time::zero()).ticks()) /
+                 static_cast<double>(input_bits);
+    }
+  } catch (const std::exception& e) {
+    r.failed = true;
+    r.error = e.what();
+  }
+  return r;
+}
+
+CampaignResult Campaign::run(unsigned threads) const {
+  const std::size_t jobs = job_count();
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, std::max<std::size_t>(1, jobs)));
+
+  CampaignResult result;
+  result.jobs.resize(jobs);
+
+  // Work stealing over the job list: each worker atomically claims the next
+  // unclaimed index and writes only its own slot, so the merged vector is in
+  // grid order no matter how the OS schedules the threads.
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> died{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&]() {
+    try {
+      while (!died.load(std::memory_order_relaxed)) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs) break;
+        result.jobs[i] = run_campaign_job(job(i), spec_.input_bits, spec_.max_events);
+      }
+    } catch (...) {
+      // run_campaign_job already folds model errors into the job row; this
+      // catches infrastructure failures (bad_alloc, spec bugs) — stop the
+      // pool and surface the first one after the join.
+      const std::scoped_lock lock{error_mutex};
+      if (!first_error) first_error = std::current_exception();
+      died.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Serial reduction in grid order: aggregates are a pure fold over the job
+  // vector, so they too are bitwise reproducible across thread counts.
+  bool first_effort = true;
+  bool first_events = true;
+  double effort_sum = 0;
+  double events_sum = 0;
+  std::size_t effort_jobs = 0;
+  for (const CampaignJobResult& r : result.jobs) {
+    result.total_events += r.event_count;
+    result.total_transmitter_sends += r.transmitter_sends;
+    if (r.failed || !r.output_correct || !r.quiescent) ++result.incorrect;
+    const auto events = static_cast<double>(r.event_count);
+    if (first_events) {
+      result.events.min = result.events.max = events;
+      first_events = false;
+    } else {
+      result.events.min = std::min(result.events.min, events);
+      result.events.max = std::max(result.events.max, events);
+    }
+    events_sum += events;
+    if (r.effort > 0) {
+      if (first_effort) {
+        result.effort.min = result.effort.max = r.effort;
+        first_effort = false;
+      } else {
+        result.effort.min = std::min(result.effort.min, r.effort);
+        result.effort.max = std::max(result.effort.max, r.effort);
+      }
+      effort_sum += r.effort;
+      ++effort_jobs;
+    }
+  }
+  if (jobs > 0) {
+    result.events.mean = events_sum / static_cast<double>(jobs);
+  }
+  if (effort_jobs > 0) {
+    result.effort.mean = effort_sum / static_cast<double>(effort_jobs);
+  }
+  return result;
+}
+
+}  // namespace rstp::sim

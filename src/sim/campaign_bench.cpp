@@ -1,0 +1,192 @@
+#include "rstp/sim/campaign_bench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <thread>
+
+#include "rstp/combinatorics/multiset_codec.h"
+#include "rstp/common/check.h"
+#include "rstp/common/rng.h"
+
+namespace rstp::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double elapsed_ms(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+/// Times `op(i)` over `iterations` calls, in nanoseconds per call. Takes the
+/// minimum over a few repetitions: scheduler preemptions only ever inflate a
+/// wall-clock sample, so the min is the robust estimator on a busy machine.
+template <typename Op>
+[[nodiscard]] double time_ns_per_call(std::size_t iterations, Op&& op) {
+  double best = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    const Clock::time_point begin = Clock::now();
+    for (std::size_t i = 0; i < iterations; ++i) {
+      op(i);
+    }
+    const Clock::time_point end = Clock::now();
+    const double ns = std::chrono::duration<double, std::nano>(end - begin).count() /
+                      static_cast<double>(iterations);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+[[nodiscard]] CodecTiming time_codec(std::uint32_t k, std::uint32_t n,
+                                     std::size_t iterations) {
+  const combinatorics::MultisetCodec codec{k, n};
+  Rng rng{0xBE7C0DEC};
+  constexpr std::size_t kPool = 64;
+  std::vector<combinatorics::Multiset> multisets;
+  std::vector<bigint::BigUint> ranks;
+  for (std::size_t i = 0; i < kPool; ++i) {
+    combinatorics::Multiset m{k};
+    for (std::uint32_t j = 0; j < n; ++j) {
+      m.add(static_cast<combinatorics::Symbol>(rng.next_below(k)));
+    }
+    ranks.push_back(codec.rank(m));
+    multisets.push_back(std::move(m));
+  }
+
+  CodecTiming timing;
+  timing.k = k;
+  timing.n = n;
+  // Volatile sink so the optimizer cannot drop the codec calls.
+  volatile std::size_t sink = 0;
+  timing.rank_ns = time_ns_per_call(iterations, [&](std::size_t i) {
+    sink = sink + codec.rank(multisets[i % kPool]).bit_length();
+  });
+  timing.rank_reference_ns = time_ns_per_call(iterations, [&](std::size_t i) {
+    sink = sink + codec.rank_reference(multisets[i % kPool]).bit_length();
+  });
+  timing.unrank_ns = time_ns_per_call(iterations, [&](std::size_t i) {
+    sink = sink + codec.unrank(ranks[i % kPool]).size();
+  });
+  timing.unrank_reference_ns = time_ns_per_call(iterations, [&](std::size_t i) {
+    sink = sink + codec.unrank_reference(ranks[i % kPool]).size();
+  });
+  return timing;
+}
+
+}  // namespace
+
+CampaignSpec reference_campaign_spec() {
+  CampaignSpec spec;
+  spec.protocols = {protocols::ProtocolKind::Alpha, protocols::ProtocolKind::Beta,
+                    protocols::ProtocolKind::Gamma, protocols::ProtocolKind::AltBit};
+  spec.timings = {core::TimingParams::make(1, 1, 4), core::TimingParams::make(1, 2, 8)};
+  spec.alphabets = {4, 16};
+  spec.environments = {core::Environment::worst_case(), core::Environment::randomized(1)};
+  spec.seeds_per_cell = 2;
+  // Heavy enough that each job is hundreds of microseconds of simulation —
+  // thread-pool overhead must be amortizable for the speedup stages to mean
+  // anything — while keeping the whole bench comfortably under a second.
+  spec.input_bits = 256;
+  spec.campaign_seed = 0xCA3BA167;
+  return spec;
+}
+
+CampaignBenchReport run_campaign_bench(const CampaignBenchOptions& options) {
+  RSTP_CHECK(!options.thread_counts.empty(), "bench needs at least one thread count");
+  const Campaign campaign{reference_campaign_spec()};
+
+  CampaignBenchReport report;
+  report.hardware_threads = std::max(1u, std::thread::hardware_concurrency());
+  report.jobs = campaign.job_count();
+
+  // The serial run is the reference both for timing (speedup) and for the
+  // bitwise determinism check. Run it once up front, untimed, to warm the
+  // interned codec tables so no stage pays one-time setup.
+  const CampaignResult warmup = campaign.run(1);
+  report.incorrect_jobs = warmup.incorrect;
+
+  double serial_wall_ms = 0;
+  report.deterministic = true;
+  for (const unsigned requested : options.thread_counts) {
+    const unsigned threads =
+        requested == 0 ? std::max(1u, std::thread::hardware_concurrency()) : requested;
+    const Clock::time_point begin = Clock::now();
+    const CampaignResult result = campaign.run(threads);
+    const Clock::time_point end = Clock::now();
+
+    CampaignStage stage;
+    stage.threads = threads;
+    stage.wall_ms = elapsed_ms(begin, end);
+    if (stage.wall_ms > 0) {
+      stage.jobs_per_sec = static_cast<double>(report.jobs) / (stage.wall_ms / 1000.0);
+    }
+    stage.identical_to_serial = result == warmup;
+    report.deterministic = report.deterministic && stage.identical_to_serial;
+    if (serial_wall_ms == 0 && threads == 1) {
+      serial_wall_ms = stage.wall_ms;
+    }
+    stage.speedup_vs_serial = serial_wall_ms > 0 && stage.wall_ms > 0
+                                  ? serial_wall_ms / stage.wall_ms
+                                  : 1.0;
+    report.stages.push_back(stage);
+  }
+
+  for (const auto& [k, n] : options.codec_points) {
+    report.codec.push_back(time_codec(k, n, options.codec_iterations));
+  }
+  return report;
+}
+
+void write_campaign_bench_json(std::ostream& os, const CampaignBenchReport& report) {
+  const auto bool_str = [](bool b) { return b ? "true" : "false"; };
+  os << "{\n";
+  os << "  \"schema\": \"rstp-bench-campaign-v1\",\n";
+  os << "  \"hardware_threads\": " << report.hardware_threads << ",\n";
+  os << "  \"jobs\": " << report.jobs << ",\n";
+  os << "  \"incorrect_jobs\": " << report.incorrect_jobs << ",\n";
+  os << "  \"deterministic\": " << bool_str(report.deterministic) << ",\n";
+  os << "  \"stages\": [\n";
+  for (std::size_t i = 0; i < report.stages.size(); ++i) {
+    const CampaignStage& s = report.stages[i];
+    os << "    {\"threads\": " << s.threads << ", \"wall_ms\": " << s.wall_ms
+       << ", \"jobs_per_sec\": " << s.jobs_per_sec
+       << ", \"speedup_vs_serial\": " << s.speedup_vs_serial
+       << ", \"identical_to_serial\": " << bool_str(s.identical_to_serial) << "}"
+       << (i + 1 < report.stages.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"codec\": [\n";
+  for (std::size_t i = 0; i < report.codec.size(); ++i) {
+    const CodecTiming& c = report.codec[i];
+    os << "    {\"k\": " << c.k << ", \"n\": " << c.n << ", \"rank_ns\": " << c.rank_ns
+       << ", \"unrank_ns\": " << c.unrank_ns
+       << ", \"rank_reference_ns\": " << c.rank_reference_ns
+       << ", \"unrank_reference_ns\": " << c.unrank_reference_ns
+       << ", \"table_beats_reference\": " << bool_str(c.table_beats_reference()) << "}"
+       << (i + 1 < report.codec.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"ok\": " << bool_str(report.ok()) << "\n";
+  os << "}\n";
+}
+
+void print_campaign_bench(std::ostream& os, const CampaignBenchReport& report) {
+  os << "reference campaign: " << report.jobs << " jobs, hardware threads "
+     << report.hardware_threads << "\n";
+  os << "threads  wall_ms  jobs/sec  speedup  identical\n";
+  for (const CampaignStage& s : report.stages) {
+    os << "  " << s.threads << "  " << s.wall_ms << "  " << s.jobs_per_sec << "  "
+       << s.speedup_vs_serial << "  " << (s.identical_to_serial ? "yes" : "NO") << "\n";
+  }
+  for (const CodecTiming& c : report.codec) {
+    os << "codec k=" << c.k << " n=" << c.n << ": rank " << c.rank_ns << " ns (ref "
+       << c.rank_reference_ns << "), unrank " << c.unrank_ns << " ns (ref "
+       << c.unrank_reference_ns << ") — table "
+       << (c.table_beats_reference() ? "beats" : "DOES NOT BEAT") << " reference\n";
+  }
+  os << "incorrect jobs: " << report.incorrect_jobs << ", deterministic: "
+     << (report.deterministic ? "yes" : "NO") << "\n";
+}
+
+}  // namespace rstp::sim

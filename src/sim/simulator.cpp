@@ -1,5 +1,6 @@
 #include "rstp/sim/simulator.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "rstp/common/check.h"
@@ -29,6 +30,7 @@ Simulator::Simulator(ioa::Automaton& transmitter, ioa::Automaton& receiver,
                 "channel delay bound must equal the model's d");
   procs_[index_of(ProcessId::Transmitter)] = ProcessState{&transmitter, &transmitter_sched};
   procs_[index_of(ProcessId::Receiver)] = ProcessState{&receiver, &receiver_sched};
+  record_events_ = config_.record_trace || static_cast<bool>(config_.observer);
 }
 
 const core::TimingParams& Simulator::params_for(ProcessId id) const {
@@ -68,7 +70,10 @@ void Simulator::record(RunResult& result, Time time, Actor actor, const Action& 
   if (action.kind == ActionKind::Write) {
     result.output.push_back(action.message);
   }
-  if (config_.record_trace || config_.observer) {
+  // record_events_ caches `record_trace || observer` so the common headless
+  // configuration (campaign/effort runs) skips the TimedEvent construction
+  // and the std::function emptiness test entirely.
+  if (record_events_) {
     const ioa::TimedEvent event{time, actor, action, next_seq_};
     if (config_.record_trace) {
       result.trace.append(event);
@@ -136,6 +141,13 @@ RunResult Simulator::run() {
   ran_ = true;
 
   RunResult result;
+  if (config_.record_trace) {
+    // Executions are usually far longer than this; one up-front chunk keeps
+    // the first reallocation doublings off the hot path without committing
+    // max_events worth of memory.
+    result.trace.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(config_.max_events,
+                                                                          4096)));
+  }
   ProcessState& t = procs_[index_of(ProcessId::Transmitter)];
   ProcessState& r = procs_[index_of(ProcessId::Receiver)];
   t.next_step = Time::zero() + validated_gap(ProcessId::Transmitter, *t.scheduler, 0);

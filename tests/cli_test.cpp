@@ -94,6 +94,28 @@ TEST(Cli, FastAndRandomEnvironmentsRun) {
   EXPECT_NE(out.find("correct:    yes"), std::string::npos);
 }
 
+TEST(Cli, BenchWritesTheCampaignBaselineJson) {
+  const std::string json_file = ::testing::TempDir() + "/cli_bench.json";
+  std::string out;
+  // One serial stage keeps the CLI smoke test quick; the full 1/2/4/N ladder
+  // lives in the bench_campaign harness (ctest -L bench).
+  EXPECT_EQ(run_command("bench --json " + json_file + " --threads 1 --threads 2", &out), 0)
+      << out;
+  EXPECT_NE(out.find("deterministic: yes"), std::string::npos) << out;
+  EXPECT_NE(out.find("baseline:   written to"), std::string::npos) << out;
+  std::ifstream in{json_file};
+  ASSERT_TRUE(in.good());
+  std::string json;
+  std::string line;
+  while (std::getline(in, line)) {
+    json += line;
+    json += '\n';
+  }
+  EXPECT_NE(json.find("\"schema\": \"rstp-bench-campaign-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"identical_to_serial\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+}
+
 TEST(Cli, UsageErrorsExitWithTwo) {
   std::string out;
   EXPECT_EQ(run_command("", &out), 2);

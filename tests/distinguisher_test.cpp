@@ -36,9 +36,10 @@ ProtocolConfig config_for(std::vector<Bit> input, std::uint32_t k, std::int64_t 
 std::vector<std::vector<Bit>> all_inputs(std::size_t n) {
   std::vector<std::vector<Bit>> result;
   for (std::uint32_t v = 0; v < (1u << n); ++v) {
-    std::vector<Bit> x(n);
+    std::vector<Bit> x;
+    x.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      x[i] = static_cast<Bit>((v >> (n - 1 - i)) & 1u);
+      x.push_back(static_cast<Bit>((v >> (n - 1 - i)) & 1u));
     }
     result.push_back(std::move(x));
   }

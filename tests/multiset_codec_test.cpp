@@ -153,6 +153,61 @@ TEST(MultisetCodec, HugeParametersStayExact) {
   EXPECT_GT(codec.count().bit_length(), 100u);
 }
 
+TEST(MultisetCodec, FromCountsAgreesWithRepeatedAdd) {
+  Multiset m{5};
+  m.add(1);
+  m.add(1);
+  m.add(4);
+  EXPECT_EQ(Multiset::from_counts({0, 2, 0, 0, 1}), m);
+  EXPECT_EQ(Multiset::from_counts({0, 2, 0, 0, 1}).size(), 3u);
+  EXPECT_THROW((void)Multiset::from_counts({}), ContractViolation);
+}
+
+TEST(MultisetCodec, FastPathsAgreeWithReferenceRandomized) {
+  // Property test for the cumulative-table fast paths: over randomized
+  // (k ≤ 64, n ≤ 32) parameter points and both multiset distributions that
+  // occur in practice (uniform random symbols, and uniform random ranks —
+  // the block-decoder's workload), rank/unrank must agree exactly with the
+  // original recurrence-walk implementations and round-trip.
+  Rng rng{0xFA57'7AB1};
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto k = static_cast<std::uint32_t>(1 + rng.next_below(64));
+    const auto n = static_cast<std::uint32_t>(rng.next_below(33));
+    const MultisetCodec codec{k, n};
+
+    Multiset m{k};
+    for (std::uint32_t j = 0; j < n; ++j) {
+      m.add(static_cast<Symbol>(rng.next_below(k)));
+    }
+    const BigUint r = codec.rank(m);
+    EXPECT_EQ(r, codec.rank_reference(m)) << "k=" << k << " n=" << n;
+    EXPECT_EQ(codec.unrank(r), m) << "k=" << k << " n=" << n;
+    EXPECT_EQ(codec.unrank_reference(r), m) << "k=" << k << " n=" << n;
+
+    const BigUint v = BigUint{rng.next_u64()} % codec.count();
+    const Multiset u = codec.unrank(v);
+    EXPECT_EQ(u, codec.unrank_reference(v)) << "k=" << k << " n=" << n;
+    EXPECT_EQ(codec.rank(u), v) << "k=" << k << " n=" << n;
+    EXPECT_EQ(codec.rank_reference(u), v) << "k=" << k << " n=" << n;
+  }
+}
+
+TEST(MultisetCodec, FastPathsAgreeWithReferenceExhaustiveSmall) {
+  // Exhaustive differential check where full enumeration is affordable:
+  // every rank of every small (k, n) decodes identically via both paths.
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    for (std::uint32_t n = 0; n <= 5; ++n) {
+      const MultisetCodec codec{k, n};
+      const std::uint64_t total = codec.count().to_u64();
+      for (std::uint64_t r = 0; r < total; ++r) {
+        const Multiset m = codec.unrank(BigUint{r});
+        ASSERT_EQ(m, codec.unrank_reference(BigUint{r})) << "k=" << k << " n=" << n;
+        ASSERT_EQ(codec.rank(m), codec.rank_reference(m)) << "k=" << k << " n=" << n;
+      }
+    }
+  }
+}
+
 TEST(BitsConversion, RoundTrip) {
   Rng rng{77};
   for (int iter = 0; iter < 100; ++iter) {

@@ -19,6 +19,11 @@
 //       Exhaustively verify all schedules (c1=c2=1) for a small instance;
 //       prints a counterexample trace on failure.
 //
+//   rstp bench [--json PATH] [--threads N]...
+//       Run the reference simulation campaign at several thread counts,
+//       verify bitwise determinism, time the codec hot paths, and write the
+//       perf baseline JSON (schema in docs/PERF.md).
+//
 // Exit code 0 on success/verified, 1 on failure, 2 on usage errors.
 #include <cstring>
 #include <fstream>
@@ -34,6 +39,7 @@
 #include "rstp/ioa/explorer.h"
 #include "rstp/ioa/trace_io.h"
 #include "rstp/protocols/factory.h"
+#include "rstp/sim/campaign_bench.h"
 
 namespace {
 
@@ -46,7 +52,8 @@ int usage() {
                "  rstp run     <protocol> <c1> <c2> <d> <k> <n|bits>"
                " [--env worst|fast|random|adversarial] [--seed N] [--trace FILE] [--stats]\n"
                "  rstp verify  <c1> <c2> <d> <tracefile> <bits>\n"
-               "  rstp explore <protocol> <d> <k> <bits>\n";
+               "  rstp explore <protocol> <d> <k> <bits>\n"
+               "  rstp bench   [--json PATH] [--threads N]...\n";
   return 2;
 }
 
@@ -239,6 +246,34 @@ int cmd_explore(int argc, char** argv) {
   return result.verified() ? 0 : 1;
 }
 
+int cmd_bench(int argc, char** argv) {
+  std::string json_path = "BENCH_campaign.json";
+  sim::CampaignBenchOptions options;
+  std::vector<unsigned> threads;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads.push_back(static_cast<unsigned>(std::stoul(argv[++i])));
+    } else {
+      return usage();
+    }
+  }
+  if (!threads.empty()) options.thread_counts = threads;
+
+  const sim::CampaignBenchReport report = sim::run_campaign_bench(options);
+  sim::print_campaign_bench(std::cout, report);
+  std::ofstream out{json_path};
+  if (!out) {
+    std::cerr << "cannot open '" << json_path << "'\n";
+    return 1;
+  }
+  sim::write_campaign_bench_json(out, report);
+  std::cout << "baseline:   written to " << json_path << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +284,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(argc, argv);
     if (command == "verify") return cmd_verify(argc, argv);
     if (command == "explore") return cmd_explore(argc, argv);
+    if (command == "bench") return cmd_bench(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
