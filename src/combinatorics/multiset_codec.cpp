@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "rstp/common/check.h"
+#include "rstp/obs/metrics.h"
 
 namespace rstp::combinatorics {
 
@@ -151,6 +152,7 @@ const BigUint& MultisetCodec::suffix_count(std::uint32_t j, std::uint32_t L) con
 }
 
 BigUint MultisetCodec::rank(const Multiset& m) const {
+  const obs::ScopedPhaseTimer timer{obs::Phase::CodecRank};
   RSTP_CHECK_EQ(m.universe(), k_, "multiset universe mismatch");
   RSTP_CHECK_EQ(m.size(), n_, "multiset size mismatch");
   // Walk the count vector directly — only the (at most min(k, n)) positions
@@ -181,6 +183,7 @@ BigUint MultisetCodec::rank(const Multiset& m) const {
 }
 
 Multiset MultisetCodec::unrank(const BigUint& value) const {
+  const obs::ScopedPhaseTimer timer{obs::Phase::CodecUnrank};
   RSTP_CHECK(value < count(), "rank out of range for this codec");
   BigUint residual = value;
   std::vector<std::uint32_t> counts(k_, 0);

@@ -3,6 +3,9 @@
 #include <deque>
 #include <map>
 #include <ostream>
+#include <vector>
+
+#include "rstp/obs/metrics.h"
 
 namespace rstp::core {
 
@@ -44,7 +47,25 @@ void print_delays(std::ostream& os, const char* what, const DelayStats& d) {
   if (d.min_delay.has_value()) {
     os << ", delay [" << *d.min_delay << ", " << *d.max_delay << "], mean " << d.mean_delay;
   }
+  if (d.p50_delay.has_value()) {
+    os << ", p50/p95/p99 " << *d.p50_delay << "/" << *d.p95_delay << "/" << *d.p99_delay;
+  }
   os << '\n';
+}
+
+/// Folds the buffered delay samples into nearest-rank percentiles via an
+/// obs::Histogram over [0, max]: width 1 (exact) for any spread up to 4096
+/// ticks, classic bucket-edge nearest-rank beyond.
+void fill_delay_percentiles(DelayStats& stats, const std::vector<std::int64_t>& delays) {
+  if (delays.empty()) return;
+  std::int64_t max_delay = 0;
+  for (const std::int64_t d : delays) max_delay = std::max(max_delay, d);
+  obs::Histogram hist{0, max_delay,
+                      std::min<std::size_t>(4096, static_cast<std::size_t>(max_delay) + 1)};
+  for (const std::int64_t d : delays) hist.record(d);
+  stats.p50_delay = Duration{hist.percentile(50)};
+  stats.p95_delay = Duration{hist.percentile(95)};
+  stats.p99_delay = Duration{hist.percentile(99)};
 }
 
 }  // namespace
@@ -57,6 +78,8 @@ TraceStats compute_trace_stats(const ioa::TimedTrace& trace) {
   double r_gap_sum = 0;
   double data_delay_sum = 0;
   double ack_delay_sum = 0;
+  std::vector<std::int64_t> data_delays;
+  std::vector<std::int64_t> ack_delays;
 
   // Outstanding sends per packet value (greedy earliest matching, as in the
   // verifier) for delay measurement and occupancy.
@@ -91,8 +114,10 @@ TraceStats compute_trace_stats(const ioa::TimedTrace& trace) {
           --in_flight;
           if (e.action.packet.direction == ioa::Packet::Direction::TransmitterToReceiver) {
             accumulate_delay(stats.data, data_delay_sum, delay);
+            data_delays.push_back(delay.ticks());
           } else {
             accumulate_delay(stats.acks, ack_delay_sum, delay);
+            ack_delays.push_back(delay.ticks());
           }
         }
         break;
@@ -125,6 +150,8 @@ TraceStats compute_trace_stats(const ioa::TimedTrace& trace) {
   if (stats.acks.delivered > 0) {
     stats.acks.mean_delay = ack_delay_sum / static_cast<double>(stats.acks.delivered);
   }
+  fill_delay_percentiles(stats.data, data_delays);
+  fill_delay_percentiles(stats.acks, ack_delays);
   stats.end_time = trace.end_time();
   if (stats.writes > 0 && stats.end_time.ticks() > 0) {
     stats.write_throughput =

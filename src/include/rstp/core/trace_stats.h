@@ -30,6 +30,14 @@ struct DelayStats {
   std::optional<Duration> min_delay;
   std::optional<Duration> max_delay;
   double mean_delay = 0;
+  /// Nearest-rank tail latencies over the matched deliveries, computed with
+  /// the obs::Histogram machinery (width-1 buckets up to 4096 ticks of spread,
+  /// so exact for every realistic d). Unset when nothing was delivered. The
+  /// tails — not the mean — are what a latency budget must be held against:
+  /// a link can meet a mean budget while routinely blowing it at p99.
+  std::optional<Duration> p50_delay;
+  std::optional<Duration> p95_delay;
+  std::optional<Duration> p99_delay;
 };
 
 struct TraceStats {

@@ -1,0 +1,57 @@
+// Metric sinks: the JSONL writer/reader (`--metrics-out`, `rstp report`) and
+// the human-readable table formatters.
+//
+// One JSONL line per run ("rstp-run-metrics-v1"): identity (protocol, timing,
+// k, input size, seed), the verdicts a reader filters on (correct, quiescent,
+// effort), the full RunCounters, and each histogram serialized exactly
+// (bucket layout + counts + extremes), so read-after-write reproduces the
+// in-memory RunMetrics bit for bit. Percentiles are re-derived on read, never
+// trusted from the file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rstp/obs/metrics.h"
+#include "rstp/obs/run_metrics.h"
+
+namespace rstp::obs {
+
+/// One exported run: enough identity to interpret the row without the
+/// invocation at hand, plus the metric snapshot itself.
+struct RunMetricsRecord {
+  std::string protocol;
+  std::int64_t c1 = 0;
+  std::int64_t c2 = 0;
+  std::int64_t d = 0;
+  std::uint32_t k = 2;
+  std::uint64_t input_bits = 0;
+  std::uint64_t seed = 0;      ///< environment seed (0 for deterministic runs)
+  double effort = 0;           ///< t(last-send)/n ticks per bit; 0 if nothing sent
+  std::int64_t end_time = 0;   ///< simulated time of the last event, ticks
+  bool correct = false;
+  bool quiescent = false;
+  RunMetrics metrics;
+
+  friend bool operator==(const RunMetricsRecord&, const RunMetricsRecord&) = default;
+};
+
+/// Appends one record as a single JSON object line ("rstp-run-metrics-v1").
+void write_run_metrics_jsonl(std::ostream& os, const RunMetricsRecord& record);
+
+/// Reads every line of a JSONL stream written by write_run_metrics_jsonl.
+/// Blank lines are skipped; malformed lines or a wrong schema tag throw
+/// JsonParseError naming the offending line number.
+[[nodiscard]] std::vector<RunMetricsRecord> read_run_metrics_jsonl(std::istream& is);
+
+/// Renders records as a fixed-width table (one row per run) followed by a
+/// totals line folding the integral counters over all rows.
+void print_metrics_table(std::ostream& os, const std::vector<RunMetricsRecord>& records);
+
+/// Renders the wall-clock phase-timer totals (per-phase calls, total and
+/// mean time) as a small table.
+void print_phase_table(std::ostream& os, const std::vector<PhaseTotal>& totals);
+
+}  // namespace rstp::obs

@@ -16,6 +16,7 @@
 
 #include "rstp/core/params.h"
 #include "rstp/ioa/automaton.h"
+#include "rstp/obs/run_metrics.h"
 
 namespace rstp::protocols {
 
@@ -59,21 +60,40 @@ inline constexpr std::uint16_t kIdleT = 3;  ///< transmitter idle (await acks)
 
 /// A_t: accepts r→t packets as inputs and reports when its last send(p) is
 /// behind it (used by the effort harness and by tests).
-class TransmitterBase : public ioa::Automaton {
+///
+/// The obs::CounterSource base is the uniform stat-hook: implementations bump
+/// `counters_` at their semantic milestones (block fully sent, ack consumed)
+/// and every protocol reports through the same RunMetrics fields. Protocols
+/// with no block/ack structure simply leave the counters at zero.
+class TransmitterBase : public ioa::Automaton, public obs::CounterSource {
  public:
   /// True once the automaton will never perform another send.
   [[nodiscard]] virtual bool transmission_complete() const = 0;
 
   [[nodiscard]] bool accepts_input(const ioa::Action& action) const override;
+
+  [[nodiscard]] const obs::ProtocolCounters& protocol_counters() const final {
+    return counters_;
+  }
+
+ protected:
+  obs::ProtocolCounters counters_;
 };
 
 /// A_r: accepts t→r packets as inputs and exposes the output tape Y.
-class ReceiverBase : public ioa::Automaton {
+class ReceiverBase : public ioa::Automaton, public obs::CounterSource {
  public:
   /// Y so far: the sequence of messages written (in write order).
   [[nodiscard]] virtual const std::vector<ioa::Bit>& output() const = 0;
 
   [[nodiscard]] bool accepts_input(const ioa::Action& action) const override;
+
+  [[nodiscard]] const obs::ProtocolCounters& protocol_counters() const final {
+    return counters_;
+  }
+
+ protected:
+  obs::ProtocolCounters counters_;
 };
 
 }  // namespace rstp::protocols

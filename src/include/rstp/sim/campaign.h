@@ -20,12 +20,15 @@
 //     bench_campaign harness, not just promised.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "rstp/core/effort.h"
 #include "rstp/core/params.h"
+#include "rstp/obs/run_metrics.h"
 #include "rstp/protocols/factory.h"
 
 namespace rstp::sim {
@@ -80,6 +83,10 @@ struct CampaignJobResult {
   bool quiescent = false;
   bool failed = false;  ///< the run threw (error holds the message)
   std::string error;
+  /// The run's full metric snapshot (populated with record_trace=false).
+  /// Purely simulation-derived, so the defaulted == below keeps the
+  /// campaign's bitwise-determinism guarantee covering the metrics too.
+  obs::RunMetrics metrics;
 
   friend bool operator==(const CampaignJobResult&, const CampaignJobResult&) = default;
 };
@@ -99,11 +106,24 @@ struct CampaignResult {
   CampaignAggregate events{};
   std::uint64_t total_events = 0;
   std::uint64_t total_transmitter_sends = 0;
+  /// Whole-grid fold of every job's RunCounters, reduced in job order.
+  /// (Histograms are not folded: their bucket layouts vary with each cell's
+  /// timing parameters; per-job histograms live in jobs[i].metrics.)
+  obs::RunCounters total_counters;
   std::size_t incorrect = 0;  ///< jobs with Y != X, non-quiescent, or failed
 
   [[nodiscard]] bool all_correct() const { return incorrect == 0; }
 
   friend bool operator==(const CampaignResult&, const CampaignResult&) = default;
+};
+
+/// Optional live progress reporting for long grids: a monitor thread prints
+/// "jobs done/total, %, events, running mean effort, ETA" lines to `out`
+/// every `interval`, plus one final line at completion. Reporting never
+/// touches the result — CampaignResult stays bitwise deterministic.
+struct CampaignProgress {
+  std::ostream* out = nullptr;  ///< null disables reporting entirely
+  std::chrono::milliseconds interval{2000};
 };
 
 class Campaign {
@@ -121,6 +141,9 @@ class Campaign {
   /// Runs every job on `threads` workers (0 = hardware concurrency) and
   /// merges. The result is bitwise identical for every thread count.
   [[nodiscard]] CampaignResult run(unsigned threads = 1) const;
+
+  /// As above, with live progress lines (see CampaignProgress).
+  [[nodiscard]] CampaignResult run(unsigned threads, const CampaignProgress& progress) const;
 
  private:
   CampaignSpec spec_;

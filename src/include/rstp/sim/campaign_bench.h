@@ -27,6 +27,9 @@ struct CampaignBenchOptions {
   std::size_t codec_iterations = 512;
   /// (k, n) points for the codec timings; k >= 8 is the regression gate.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> codec_points = {{8, 32}, {32, 32}};
+  /// Live progress lines for the (untimed) warmup run only, so the timed
+  /// stages never carry reporting overhead. Null keeps the bench silent.
+  CampaignProgress progress;
 };
 
 /// One campaign sweep stage at a fixed thread count.
@@ -59,6 +62,9 @@ struct CampaignBenchReport {
   std::vector<CampaignStage> stages;
   bool deterministic = false;  ///< every stage bitwise matched the serial run
   std::vector<CodecTiming> codec;
+  /// The serial reference run's full result (per-job RunMetrics included):
+  /// lets callers export the grid's metrics without rerunning the campaign.
+  CampaignResult serial_result;
 
   /// True iff every job was correct and every stage reproduced the serial
   /// result — the conditions under which the baseline is trustworthy.

@@ -31,6 +31,7 @@
 #include "rstp/core/params.h"
 #include "rstp/ioa/automaton.h"
 #include "rstp/ioa/trace.h"
+#include "rstp/obs/run_metrics.h"
 #include "rstp/sim/scheduler.h"
 
 namespace rstp::sim {
@@ -67,6 +68,11 @@ struct RunResult {
   std::uint64_t receiver_sends = 0;
   std::uint64_t dropped_packets = 0;
   bool quiescent = false;  ///< true iff the run ended in global quiescence
+  /// Always-on structured metrics (O(1) memory, populated even when
+  /// record_trace is false): per-direction send/recv/drop counters, protocol
+  /// automata counters, and delay/gap histograms. Pure functions of the
+  /// simulated execution — safe to compare across thread counts.
+  obs::RunMetrics metrics;
 };
 
 class Simulator {
@@ -85,6 +91,7 @@ class Simulator {
     ioa::Automaton* automaton = nullptr;
     StepScheduler* scheduler = nullptr;
     Time next_step{};
+    Time last_step_time{};  ///< instant of the previous local step (gap metric)
     std::uint64_t steps_taken = 0;
     bool stopped = false;
   };

@@ -1,0 +1,206 @@
+#include "rstp/obs/sinks.h"
+
+#include <charconv>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "rstp/common/check.h"
+#include "rstp/obs/json.h"
+
+namespace rstp::obs {
+
+namespace {
+
+constexpr std::string_view kSchema = "rstp-run-metrics-v1";
+
+/// Shortest round-trippable decimal form of a double.
+std::string format_double(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  RSTP_CHECK(ec == std::errc{}, "double formatting cannot fail on a 64-byte buffer");
+  return std::string(buf, ptr);
+}
+
+void write_histogram(std::ostream& os, const Histogram& h) {
+  if (!h.configured()) {
+    os << "null";
+    return;
+  }
+  os << "{\"lo\":" << h.lower_bound() << ",\"width\":" << h.bucket_width()
+     << ",\"count\":" << h.count() << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+     << ",\"max\":" << h.max() << ",\"p50\":" << h.percentile(50)
+     << ",\"p95\":" << h.percentile(95) << ",\"p99\":" << h.percentile(99) << ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (i > 0) os << ',';
+    os << h.bucket(i);
+  }
+  os << "]}";
+}
+
+Histogram parse_histogram(const JsonValue* v) {
+  if (v == nullptr || v->kind == JsonValue::Kind::Null) return Histogram{};
+  if (!v->is_object()) throw JsonParseError("histogram must be an object or null");
+  const JsonValue* buckets = v->find("buckets");
+  if (buckets == nullptr || buckets->kind != JsonValue::Kind::Array) {
+    throw JsonParseError("histogram is missing its buckets array");
+  }
+  std::vector<std::uint64_t> counts;
+  counts.reserve(buckets->items.size());
+  for (const JsonValue& item : buckets->items) counts.push_back(item.to_u64());
+  return Histogram::from_parts(v->i64_or("lo", 0), v->i64_or("width", 1), std::move(counts),
+                               v->u64_or("count", 0), v->i64_or("sum", 0), v->i64_or("min", 0),
+                               v->i64_or("max", 0));
+}
+
+RunCounters parse_counters(const JsonValue& line) {
+  const JsonValue* v = line.find("counters");
+  if (v == nullptr || !v->is_object()) {
+    throw JsonParseError("record is missing its counters object");
+  }
+  RunCounters c;
+  c.events = v->u64_or("events", 0);
+  c.data_sends = v->u64_or("data_sends", 0);
+  c.ack_sends = v->u64_or("ack_sends", 0);
+  c.data_recvs = v->u64_or("data_recvs", 0);
+  c.ack_recvs = v->u64_or("ack_recvs", 0);
+  c.dropped = v->u64_or("dropped", 0);
+  c.writes = v->u64_or("writes", 0);
+  c.transmitter_steps = v->u64_or("transmitter_steps", 0);
+  c.receiver_steps = v->u64_or("receiver_steps", 0);
+  c.transmitter_internal_steps = v->u64_or("transmitter_internal_steps", 0);
+  c.receiver_internal_steps = v->u64_or("receiver_internal_steps", 0);
+  c.protocol.blocks_encoded = v->u64_or("blocks_encoded", 0);
+  c.protocol.blocks_decoded = v->u64_or("blocks_decoded", 0);
+  c.protocol.acks_sent = v->u64_or("acks_sent", 0);
+  c.protocol.acks_observed = v->u64_or("acks_observed", 0);
+  c.protocol.retransmissions = v->u64_or("retransmissions", 0);
+  return c;
+}
+
+}  // namespace
+
+void write_run_metrics_jsonl(std::ostream& os, const RunMetricsRecord& record) {
+  const RunCounters& c = record.metrics.counters;
+  os << "{\"schema\":" << json_quote(kSchema)
+     << ",\"protocol\":" << json_quote(record.protocol) << ",\"c1\":" << record.c1
+     << ",\"c2\":" << record.c2 << ",\"d\":" << record.d << ",\"k\":" << record.k
+     << ",\"input_bits\":" << record.input_bits << ",\"seed\":" << record.seed
+     << ",\"effort\":" << format_double(record.effort) << ",\"end_time\":" << record.end_time
+     << ",\"correct\":" << (record.correct ? "true" : "false")
+     << ",\"quiescent\":" << (record.quiescent ? "true" : "false") << ",\"counters\":{"
+     << "\"events\":" << c.events << ",\"data_sends\":" << c.data_sends
+     << ",\"ack_sends\":" << c.ack_sends << ",\"data_recvs\":" << c.data_recvs
+     << ",\"ack_recvs\":" << c.ack_recvs << ",\"dropped\":" << c.dropped
+     << ",\"writes\":" << c.writes << ",\"transmitter_steps\":" << c.transmitter_steps
+     << ",\"receiver_steps\":" << c.receiver_steps
+     << ",\"transmitter_internal_steps\":" << c.transmitter_internal_steps
+     << ",\"receiver_internal_steps\":" << c.receiver_internal_steps
+     << ",\"blocks_encoded\":" << c.protocol.blocks_encoded
+     << ",\"blocks_decoded\":" << c.protocol.blocks_decoded
+     << ",\"acks_sent\":" << c.protocol.acks_sent
+     << ",\"acks_observed\":" << c.protocol.acks_observed
+     << ",\"retransmissions\":" << c.protocol.retransmissions << "},\"hist\":{";
+  os << "\"data_delay\":";
+  write_histogram(os, record.metrics.data_delay);
+  os << ",\"ack_delay\":";
+  write_histogram(os, record.metrics.ack_delay);
+  os << ",\"transmitter_gap\":";
+  write_histogram(os, record.metrics.transmitter_gap);
+  os << ",\"receiver_gap\":";
+  write_histogram(os, record.metrics.receiver_gap);
+  os << "}}\n";
+}
+
+std::vector<RunMetricsRecord> read_run_metrics_jsonl(std::istream& is) {
+  std::vector<RunMetricsRecord> out;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      const JsonValue doc = parse_json(line);
+      if (!doc.is_object()) throw JsonParseError("line is not a JSON object");
+      const std::string schema = doc.string_or("schema", "");
+      if (schema != kSchema) {
+        throw JsonParseError("unsupported schema '" + schema + "' (want '" +
+                             std::string{kSchema} + "')");
+      }
+      RunMetricsRecord record;
+      record.protocol = doc.string_or("protocol", "?");
+      record.c1 = doc.i64_or("c1", 0);
+      record.c2 = doc.i64_or("c2", 0);
+      record.d = doc.i64_or("d", 0);
+      record.k = static_cast<std::uint32_t>(doc.u64_or("k", 2));
+      record.input_bits = doc.u64_or("input_bits", 0);
+      record.seed = doc.u64_or("seed", 0);
+      record.effort = doc.number_or("effort", 0);
+      record.end_time = doc.i64_or("end_time", 0);
+      record.correct = doc.bool_or("correct", false);
+      record.quiescent = doc.bool_or("quiescent", false);
+      record.metrics.counters = parse_counters(doc);
+      const JsonValue* hist = doc.find("hist");
+      if (hist != nullptr && hist->is_object()) {
+        record.metrics.data_delay = parse_histogram(hist->find("data_delay"));
+        record.metrics.ack_delay = parse_histogram(hist->find("ack_delay"));
+        record.metrics.transmitter_gap = parse_histogram(hist->find("transmitter_gap"));
+        record.metrics.receiver_gap = parse_histogram(hist->find("receiver_gap"));
+      }
+      out.push_back(std::move(record));
+    } catch (const JsonParseError& e) {
+      throw JsonParseError("line " + std::to_string(line_number) + ": " + e.what());
+    }
+  }
+  return out;
+}
+
+void print_metrics_table(std::ostream& os, const std::vector<RunMetricsRecord>& records) {
+  os << std::left << std::setw(10) << "protocol" << std::right << std::setw(4) << "c1"
+     << std::setw(5) << "c2" << std::setw(6) << "d" << std::setw(4) << "k" << std::setw(6)
+     << "bits" << std::setw(9) << "effort" << std::setw(9) << "d.sends" << std::setw(9)
+     << "a.sends" << std::setw(7) << "drops" << std::setw(8) << "writes" << std::setw(6)
+     << "p50" << std::setw(6) << "p95" << std::setw(6) << "p99" << std::setw(5) << "ok"
+     << std::setw(7) << "quiet" << '\n';
+  RunCounters totals;
+  for (const RunMetricsRecord& r : records) {
+    const RunCounters& c = r.metrics.counters;
+    totals += c;
+    const Histogram& delay = r.metrics.data_delay;
+    os << std::left << std::setw(10) << r.protocol << std::right << std::setw(4) << r.c1
+       << std::setw(5) << r.c2 << std::setw(6) << r.d << std::setw(4) << r.k << std::setw(6)
+       << r.input_bits << std::setw(9) << std::fixed << std::setprecision(2) << r.effort
+       << std::setw(9) << c.data_sends << std::setw(9) << c.ack_sends << std::setw(7)
+       << c.dropped << std::setw(8) << c.writes;
+    if (delay.configured() && delay.count() > 0) {
+      os << std::setw(6) << delay.percentile(50) << std::setw(6) << delay.percentile(95)
+         << std::setw(6) << delay.percentile(99);
+    } else {
+      os << std::setw(6) << "-" << std::setw(6) << "-" << std::setw(6) << "-";
+    }
+    os << std::setw(5) << (r.correct ? "yes" : "NO") << std::setw(7)
+       << (r.quiescent ? "yes" : "NO") << '\n';
+  }
+  os << "runs: " << records.size() << "  events: " << totals.events
+     << "  data sends: " << totals.data_sends << "  ack sends: " << totals.ack_sends
+     << "  drops: " << totals.dropped << "  writes: " << totals.writes
+     << "  blocks enc/dec: " << totals.protocol.blocks_encoded << "/"
+     << totals.protocol.blocks_decoded << "  acks sent/observed: " << totals.protocol.acks_sent
+     << "/" << totals.protocol.acks_observed << '\n';
+}
+
+void print_phase_table(std::ostream& os, const std::vector<PhaseTotal>& totals) {
+  os << std::left << std::setw(14) << "phase" << std::right << std::setw(12) << "calls"
+     << std::setw(14) << "total_us" << std::setw(12) << "mean_ns" << '\n';
+  for (const PhaseTotal& t : totals) {
+    const double total_us = static_cast<double>(t.nanos) / 1000.0;
+    const double mean_ns =
+        t.calls == 0 ? 0.0 : static_cast<double>(t.nanos) / static_cast<double>(t.calls);
+    os << std::left << std::setw(14) << to_string(t.phase) << std::right << std::setw(12)
+       << t.calls << std::setw(14) << std::fixed << std::setprecision(1) << total_us
+       << std::setw(12) << std::setprecision(1) << mean_ns << '\n';
+  }
+}
+
+}  // namespace rstp::obs

@@ -38,6 +38,7 @@ void AltBitTransmitter::apply(const Action& action) {
     RSTP_CHECK(phase_ == Phase::AwaitingAck, "ack with no outstanding message");
     const std::uint32_t seq = static_cast<std::uint32_t>(i_) & 1u;
     RSTP_CHECK_EQ(action.packet.payload, seq, "alternating-bit ack sequence mismatch");
+    ++counters_.acks_observed;
     ++i_;
     phase_ = Phase::Sending;
     return;
@@ -101,6 +102,7 @@ void AltBitReceiver::apply(const Action& action) {
   switch (action.kind) {
     case ActionKind::Send:
       ack_queue_.erase(ack_queue_.begin());
+      ++counters_.acks_sent;
       break;
     case ActionKind::Write:
       written_.push_back(action.message);

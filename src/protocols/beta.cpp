@@ -52,6 +52,9 @@ void BetaTransmitter::apply(const Action& action) {
   if (action.kind == ActionKind::Send) {
     ++i_;
     ++c_;
+    if (c_ == block_) {
+      ++counters_.blocks_encoded;
+    }
   } else {
     c_ = (c_ + 1) % (block_ + wait_);  // Figure 3's wait_t: c := c + 1 (mod 2δ)
   }
@@ -101,6 +104,7 @@ void BetaReceiver::apply(const Action& action) {
       const std::vector<Bit> bits = coder_->decode(block_);
       decoded_.insert(decoded_.end(), bits.begin(), bits.end());
       block_.clear();
+      ++counters_.blocks_decoded;
     }
     return;
   }

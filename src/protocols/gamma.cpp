@@ -41,6 +41,7 @@ void GammaTransmitter::apply(const Action& action) {
     // recv(ack): a := a + 1; when the block is fully acked, unlock the next.
     RSTP_CHECK_EQ(action.packet.payload, kAckPayload, "unexpected r→t payload");
     ++a_;
+    ++counters_.acks_observed;
     // Under the lossless, duplication-free channel every ack answers a packet
     // of the current block, so acks can never outrun this round's sends.
     RSTP_CHECK_LE(a_, c_, "ack without a matching packet in this block");
@@ -55,6 +56,9 @@ void GammaTransmitter::apply(const Action& action) {
   if (action.kind == ActionKind::Send) {
     ++i_;
     ++c_;
+    if (c_ == delta2_) {
+      ++counters_.blocks_encoded;
+    }
   }
   // idle_t has no effect.
 }
@@ -108,6 +112,7 @@ void GammaReceiver::apply(const Action& action) {
       const std::vector<Bit> bits = coder_->decode(block_);
       decoded_.insert(decoded_.end(), bits.begin(), bits.end());
       block_.clear();
+      ++counters_.blocks_decoded;
     }
     return;
   }
@@ -116,6 +121,7 @@ void GammaReceiver::apply(const Action& action) {
   switch (action.kind) {
     case ActionKind::Send:
       --unacked_;
+      ++counters_.acks_sent;
       break;
     case ActionKind::Write:
       written_.push_back(action.message);

@@ -90,6 +90,7 @@ void WindowedGammaTransmitter::apply(const Action& action) {
   if (accepts_input(action)) {
     const std::size_t tag = action.packet.payload;
     RSTP_CHECK_LT(tag, window_, "ack payload must be a window tag");
+    ++counters_.acks_observed;
     ++acks_[tag];
     RSTP_CHECK_LE(acks_[tag], delta2_, "more acks than packets for this tag");
     // Blocks complete strictly in order; a full later block waits for the
@@ -108,6 +109,7 @@ void WindowedGammaTransmitter::apply(const Action& action) {
     if (c_ == delta2_) {
       ++block_;
       c_ = 0;
+      ++counters_.blocks_encoded;
     }
   }
   // idle_t has no effect.
@@ -154,6 +156,7 @@ void WindowedGammaReceiver::decode_ready_blocks() {
     decoded_.insert(decoded_.end(), bits.begin(), bits.end());
     blocks_[next_tag_].clear();
     next_tag_ = (next_tag_ + 1) % window_;
+    ++counters_.blocks_decoded;
   }
 }
 
@@ -184,6 +187,7 @@ void WindowedGammaReceiver::apply(const Action& action) {
   switch (action.kind) {
     case ActionKind::Send:
       ack_queue_.erase(ack_queue_.begin());
+      ++counters_.acks_sent;
       break;
     case ActionKind::Write:
       written_.push_back(action.message);

@@ -68,6 +68,9 @@ void StrawmanTransmitter::apply(const Action& action) {
   if (action.kind == ActionKind::Send) {
     ++i_;
     ++c_;
+    if (c_ == delta_) {
+      ++counters_.blocks_encoded;
+    }
   } else {
     c_ = (c_ + 1) % (2 * delta_);
   }
@@ -118,6 +121,7 @@ void StrawmanReceiver::apply(const Action& action) {
         }
       }
       arrivals_.clear();
+      ++counters_.blocks_decoded;
     }
     return;
   }

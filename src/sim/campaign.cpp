@@ -2,14 +2,32 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <iomanip>
 #include <mutex>
+#include <ostream>
 #include <thread>
 
 #include "rstp/common/check.h"
 #include "rstp/common/rng.h"
+#include "rstp/obs/metrics.h"
 
 namespace rstp::sim {
+
+namespace {
+
+/// Global-registry slots the campaign engine reports into (naming scheme in
+/// docs/OBSERVABILITY.md). Registration is idempotent, so constructing this
+/// per run() just looks the ids up after the first campaign.
+struct MetricsRegistryIds {
+  obs::MetricsRegistry::MetricId jobs = obs::global_registry().counter("campaign/jobs");
+  obs::MetricsRegistry::MetricId events = obs::global_registry().counter("campaign/events");
+  obs::MetricsRegistry::MetricId max_events =
+      obs::global_registry().gauge("campaign/max_events_per_job");
+};
+
+}  // namespace
 
 void CampaignSpec::validate() const {
   RSTP_CHECK(!protocols.empty(), "campaign needs at least one protocol");
@@ -87,6 +105,7 @@ CampaignJobResult run_campaign_job(const CampaignJob& job, std::size_t input_bit
     r.receiver_sends = run.result.receiver_sends;
     r.output_correct = run.output_correct;
     r.quiescent = run.result.quiescent;
+    r.metrics = run.result.metrics;
     if (input_bits > 0 && run.result.last_transmitter_send.has_value()) {
       r.effort = static_cast<double>(
                      (*run.result.last_transmitter_send - Time::zero()).ticks()) /
@@ -99,7 +118,9 @@ CampaignJobResult run_campaign_job(const CampaignJob& job, std::size_t input_bit
   return r;
 }
 
-CampaignResult Campaign::run(unsigned threads) const {
+CampaignResult Campaign::run(unsigned threads) const { return run(threads, CampaignProgress{}); }
+
+CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress) const {
   const std::size_t jobs = job_count();
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -109,6 +130,14 @@ CampaignResult Campaign::run(unsigned threads) const {
 
   CampaignResult result;
   result.jobs.resize(jobs);
+
+  // Live-progress state. Workers fold into these with relaxed atomics only —
+  // the reporting path reads approximations and never feeds the result.
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::uint64_t> events_done{0};
+  std::atomic<double> live_effort_sum{0.0};
+  std::atomic<std::size_t> effort_jobs_done{0};
+  const MetricsRegistryIds registry_ids;
 
   // Work stealing over the job list: each worker atomically claims the next
   // unclaimed index and writes only its own slot, so the merged vector is in
@@ -122,7 +151,17 @@ CampaignResult Campaign::run(unsigned threads) const {
       while (!died.load(std::memory_order_relaxed)) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobs) break;
-        result.jobs[i] = run_campaign_job(job(i), spec_.input_bits, spec_.max_events);
+        CampaignJobResult& slot = result.jobs[i];
+        slot = run_campaign_job(job(i), spec_.input_bits, spec_.max_events);
+        events_done.fetch_add(slot.event_count, std::memory_order_relaxed);
+        if (slot.effort > 0) {
+          live_effort_sum.fetch_add(slot.effort, std::memory_order_relaxed);
+          effort_jobs_done.fetch_add(1, std::memory_order_relaxed);
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+        obs::global_registry().add(registry_ids.jobs);
+        obs::global_registry().add(registry_ids.events, slot.event_count);
+        obs::global_registry().gauge_max(registry_ids.max_events, slot.event_count);
       }
     } catch (...) {
       // run_campaign_job already folds model errors into the job row; this
@@ -134,6 +173,43 @@ CampaignResult Campaign::run(unsigned threads) const {
     }
   };
 
+  const auto start = std::chrono::steady_clock::now();
+  const auto print_progress = [&](std::ostream& os) {
+    const std::size_t d = done.load(std::memory_order_relaxed);
+    const double fraction =
+        jobs == 0 ? 1.0 : static_cast<double>(d) / static_cast<double>(jobs);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    os << "campaign: " << d << "/" << jobs << " jobs (" << std::fixed << std::setprecision(1)
+       << 100.0 * fraction << "%), " << events_done.load(std::memory_order_relaxed)
+       << " events";
+    const std::size_t en = effort_jobs_done.load(std::memory_order_relaxed);
+    if (en > 0) {
+      os << ", mean effort " << std::setprecision(2)
+         << live_effort_sum.load(std::memory_order_relaxed) / static_cast<double>(en);
+    }
+    if (d > 0 && d < jobs && fraction > 0) {
+      os << ", eta " << std::setprecision(1) << elapsed * (1.0 - fraction) / fraction << "s";
+    }
+    os << '\n' << std::flush;
+  };
+
+  // The monitor thread exists only while a sink is attached; the common
+  // silent path pays nothing beyond the workers' relaxed counter updates.
+  std::atomic<bool> finished{false};
+  std::mutex monitor_mutex;
+  std::condition_variable monitor_cv;
+  std::thread monitor;
+  if (progress.out != nullptr) {
+    monitor = std::thread([&]() {
+      std::unique_lock lock{monitor_mutex};
+      while (!monitor_cv.wait_for(lock, progress.interval,
+                                  [&]() { return finished.load(std::memory_order_relaxed); })) {
+        print_progress(*progress.out);
+      }
+    });
+  }
+
   if (workers <= 1) {
     worker();
   } else {
@@ -143,6 +219,16 @@ CampaignResult Campaign::run(unsigned threads) const {
       pool.emplace_back(worker);
     }
     for (std::thread& t : pool) t.join();
+  }
+  if (monitor.joinable()) {
+    {
+      const std::scoped_lock lock{monitor_mutex};
+      finished.store(true, std::memory_order_relaxed);
+    }
+    monitor_cv.notify_all();
+    monitor.join();
+    // Always close with a complete line so short campaigns still report.
+    print_progress(*progress.out);
   }
   if (first_error) std::rethrow_exception(first_error);
 
@@ -156,6 +242,7 @@ CampaignResult Campaign::run(unsigned threads) const {
   for (const CampaignJobResult& r : result.jobs) {
     result.total_events += r.event_count;
     result.total_transmitter_sends += r.transmitter_sends;
+    result.total_counters += r.metrics.counters;
     if (r.failed || !r.output_correct || !r.quiescent) ++result.incorrect;
     const auto events = static_cast<double>(r.event_count);
     if (first_events) {

@@ -102,8 +102,10 @@ CampaignBenchReport run_campaign_bench(const CampaignBenchOptions& options) {
 
   // The serial run is the reference both for timing (speedup) and for the
   // bitwise determinism check. Run it once up front, untimed, to warm the
-  // interned codec tables so no stage pays one-time setup.
-  const CampaignResult warmup = campaign.run(1);
+  // interned codec tables so no stage pays one-time setup. Progress lines
+  // (when requested) attach here only, keeping the timed stages clean.
+  report.serial_result = campaign.run(1, options.progress);
+  const CampaignResult& warmup = report.serial_result;
   report.incorrect_jobs = warmup.incorrect;
 
   double serial_wall_ms = 0;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "rstp/common/check.h"
+#include "rstp/obs/metrics.h"
 
 namespace rstp::sim {
 
@@ -66,9 +67,11 @@ Duration Simulator::validated_gap(ProcessId id, StepScheduler& sched,
 
 void Simulator::record(RunResult& result, Time time, Actor actor, const Action& action) {
   ++result.event_count;
+  ++result.metrics.counters.events;
   result.end_time = time;
   if (action.kind == ActionKind::Write) {
     result.output.push_back(action.message);
+    ++result.metrics.counters.writes;
   }
   // record_events_ caches `record_trace || observer` so the common headless
   // configuration (campaign/effort runs) skips the TimedEvent construction
@@ -91,6 +94,16 @@ void Simulator::deliver_due(RunResult& result, Time now) {
     const Action recv = Action::recv(flight.packet);
     RSTP_CHECK(dest.accepts_input(recv), "delivered packet not an input of its destination");
     dest.apply(recv);
+    // The channel knows both endpoints of every flight, so delivery delay is
+    // measured exactly — no post-hoc trace matching involved.
+    const Duration delay = flight.deliver_at - flight.sent_at;
+    if (flight.packet.destination() == ProcessId::Receiver) {
+      ++result.metrics.counters.data_recvs;
+      result.metrics.data_delay.record(delay.ticks());
+    } else {
+      ++result.metrics.counters.ack_recvs;
+      result.metrics.ack_delay.record(delay.ticks());
+    }
     record(result, flight.deliver_at, Actor::Channel, recv);
     // A stopped process can be re-enabled by input; let it resume stepping.
     ProcessState& ps = procs_[index_of(flight.packet.destination())];
@@ -103,18 +116,31 @@ void Simulator::deliver_due(RunResult& result, Time now) {
 }
 
 void Simulator::take_process_step(RunResult& result, ProcessState& ps, ProcessId id) {
+  const obs::ScopedPhaseTimer timer{obs::Phase::SimStep};
   const std::optional<Action> action = ps.automaton->enabled_local();
   if (!action.has_value()) {
     ps.stopped = true;
     return;
   }
+  obs::RunCounters& counters = result.metrics.counters;
   ps.automaton->apply(*action);
-  ++ps.steps_taken;
   if (id == ProcessId::Transmitter) {
     ++result.transmitter_steps;
+    ++counters.transmitter_steps;
+    if (action->kind == ActionKind::Internal) ++counters.transmitter_internal_steps;
+    if (ps.steps_taken > 0) {
+      result.metrics.transmitter_gap.record((ps.next_step - ps.last_step_time).ticks());
+    }
   } else {
     ++result.receiver_steps;
+    ++counters.receiver_steps;
+    if (action->kind == ActionKind::Internal) ++counters.receiver_internal_steps;
+    if (ps.steps_taken > 0) {
+      result.metrics.receiver_gap.record((ps.next_step - ps.last_step_time).ticks());
+    }
   }
+  ps.last_step_time = ps.next_step;
+  ++ps.steps_taken;
   record(result, ps.next_step, ioa::actor_of(id), *action);
 
   if (action->kind == ActionKind::Send) {
@@ -122,13 +148,16 @@ void Simulator::take_process_step(RunResult& result, ProcessState& ps, ProcessId
                   "automaton sent a packet with the wrong direction tag");
     if (id == ProcessId::Transmitter) {
       ++result.transmitter_sends;
+      ++counters.data_sends;
       result.last_transmitter_send = ps.next_step;
     } else {
       ++result.receiver_sends;
+      ++counters.ack_sends;
     }
     const std::uint64_t send_count = result.transmitter_sends + result.receiver_sends;
     if (config_.drop_every_nth != 0 && send_count % config_.drop_every_nth == 0) {
       ++result.dropped_packets;  // fault injection: packet lost outside the model
+      ++counters.dropped;
     } else {
       channel_->send(action->packet, ps.next_step);
     }
@@ -141,6 +170,15 @@ RunResult Simulator::run() {
   ran_ = true;
 
   RunResult result;
+  // Histogram windows come from the model: delivery delays live in [0, d],
+  // realized step gaps in [c1, c2] (a stop/resume gap clamps into the top
+  // bucket; min()/max() keep the true extremes).
+  const std::int64_t d = config_.params.d.ticks();
+  result.metrics.data_delay = obs::Histogram(0, d);
+  result.metrics.ack_delay = obs::Histogram(0, d);
+  result.metrics.transmitter_gap =
+      obs::Histogram(0, params_for(ProcessId::Transmitter).c2.ticks());
+  result.metrics.receiver_gap = obs::Histogram(0, params_for(ProcessId::Receiver).c2.ticks());
   if (config_.record_trace) {
     // Executions are usually far longer than this; one up-front chunk keeps
     // the first reallocation doublings off the hot path without committing
@@ -185,6 +223,13 @@ RunResult Simulator::run() {
       continue;
     }
     RSTP_UNREACHABLE("event selection failed");
+  }
+  // Fold in the automata's own counters (the ProtocolBase stat-hook).
+  // Automata outside the protocol hierarchy simply contribute nothing.
+  for (const ProcessState& ps : procs_) {
+    if (const auto* source = dynamic_cast<const obs::CounterSource*>(ps.automaton)) {
+      result.metrics.counters.protocol += source->protocol_counters();
+    }
   }
   return result;
 }

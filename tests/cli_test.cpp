@@ -103,6 +103,9 @@ TEST(Cli, BenchWritesTheCampaignBaselineJson) {
       << out;
   EXPECT_NE(out.find("deterministic: yes"), std::string::npos) << out;
   EXPECT_NE(out.find("baseline:   written to"), std::string::npos) << out;
+  // The warmup campaign reports progress (stderr, folded in by run_command);
+  // the final 100% line is guaranteed even for short grids.
+  EXPECT_NE(out.find("campaign: 64/64 jobs (100.0%)"), std::string::npos) << out;
   std::ifstream in{json_file};
   ASSERT_TRUE(in.good());
   std::string json;
@@ -122,6 +125,54 @@ TEST(Cli, UsageErrorsExitWithTwo) {
   EXPECT_EQ(run_command("frobnicate", &out), 2);
   EXPECT_EQ(run_command("run nosuchprotocol 1 2 4 2 8", &out), 2);
   EXPECT_EQ(run_command("bounds 1 2", &out), 2);
+}
+
+TEST(Cli, BadNumericArgumentsExitWithTwoAndNameTheToken) {
+  std::string out;
+  EXPECT_EQ(run_command("bounds 1x 2 16 8", &out), 2);
+  EXPECT_NE(out.find("invalid c1 '1x'"), std::string::npos) << out;
+  EXPECT_EQ(run_command("run beta 1 2 8 8 64 --seed nope", &out), 2);
+  EXPECT_NE(out.find("invalid --seed 'nope'"), std::string::npos) << out;
+  EXPECT_EQ(run_command("run beta 1 2 8 8 12abc", &out), 2);
+  EXPECT_NE(out.find("invalid input length '12abc'"), std::string::npos) << out;
+  // Out-of-range is a parse failure too (std::stoll would have thrown here).
+  EXPECT_EQ(run_command("bounds 99999999999999999999 2 16 8", &out), 2);
+  EXPECT_NE(out.find("invalid c1"), std::string::npos) << out;
+  EXPECT_EQ(run_command("bench --threads -3", &out), 2);
+  EXPECT_NE(out.find("invalid --threads '-3'"), std::string::npos) << out;
+}
+
+TEST(Cli, MetricsOutThenReportRoundTrip) {
+  const std::string jsonl = ::testing::TempDir() + "/cli_metrics.jsonl";
+  std::remove(jsonl.c_str());
+  std::string out;
+  ASSERT_EQ(run_command("run gamma 1 2 6 4 32 --metrics-out " + jsonl, &out), 0) << out;
+  EXPECT_NE(out.find("metrics:    appended to"), std::string::npos) << out;
+  // A second run appends, so one file accumulates a comparable series.
+  ASSERT_EQ(run_command("run beta 1 2 6 4 32 --metrics-out " + jsonl, &out), 0) << out;
+  EXPECT_EQ(run_command("report " + jsonl, &out), 0);
+  EXPECT_NE(out.find("gamma"), std::string::npos) << out;
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("runs: 2"), std::string::npos) << out;
+  std::remove(jsonl.c_str());
+}
+
+TEST(Cli, RunTimingPrintsThePhaseTable) {
+  std::string out;
+  EXPECT_EQ(run_command("run gamma 1 2 6 4 32 --timing", &out), 0);
+  EXPECT_NE(out.find("phase timing:"), std::string::npos) << out;
+  EXPECT_NE(out.find("sim_step"), std::string::npos) << out;
+}
+
+TEST(Cli, ReportOnMissingOrMalformedInputFails) {
+  std::string out;
+  EXPECT_EQ(run_command("report /nonexistent/metrics.jsonl", &out), 1);
+  EXPECT_NE(out.find("cannot open"), std::string::npos) << out;
+  const std::string bad = ::testing::TempDir() + "/cli_bad.jsonl";
+  std::ofstream{bad} << "this is not json\n";
+  EXPECT_EQ(run_command("report " + bad, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  std::remove(bad.c_str());
 }
 
 TEST(Cli, ModelErrorsSurfaceCleanly) {

@@ -1,0 +1,176 @@
+// Tests for the obs instrumentation layer: fixed-bucket histograms, the
+// sharded metrics registry, and the gated wall-clock phase timers.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rstp/common/check.h"
+#include "rstp/obs/metrics.h"
+
+namespace rstp {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+TEST(Histogram, WidthOneBucketsGiveExactPercentiles) {
+  Histogram h{0, 99};  // span 100 ≤ 64 buckets? no: width becomes 2
+  EXPECT_EQ(h.bucket_width(), 2);
+  Histogram exact{0, 63};
+  EXPECT_EQ(exact.bucket_width(), 1);
+  for (std::int64_t v = 1; v <= 20; ++v) exact.record(v);
+  EXPECT_EQ(exact.count(), 20u);
+  EXPECT_EQ(exact.sum(), 210);
+  EXPECT_EQ(exact.min(), 1);
+  EXPECT_EQ(exact.max(), 20);
+  EXPECT_DOUBLE_EQ(exact.mean(), 10.5);
+  // Nearest-rank over 1..20: p50 → rank 10 → value 10; p95 → rank 19; p99 →
+  // rank 20.
+  EXPECT_EQ(exact.percentile(50), 10);
+  EXPECT_EQ(exact.percentile(95), 19);
+  EXPECT_EQ(exact.percentile(99), 20);
+  EXPECT_EQ(exact.percentile(0), 1);
+  EXPECT_EQ(exact.percentile(100), 20);
+}
+
+TEST(Histogram, OutOfWindowValuesClampIntoEdgeBuckets) {
+  Histogram h{0, 7};
+  h.record(-5);
+  h.record(100);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(7), 1u);
+  // min/max still report the true extremes; percentiles stay inside the
+  // window (they report the top bucket's upper edge, never invented values).
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.percentile(99), 7);
+}
+
+TEST(Histogram, EmptyAndUnconfiguredBehaviour) {
+  Histogram empty{0, 10};
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.min(), 0);
+  EXPECT_EQ(empty.max(), 0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.percentile(50), 0);
+
+  Histogram unconfigured;
+  EXPECT_FALSE(unconfigured.configured());
+  EXPECT_THROW(unconfigured.record(1), ContractViolation);
+}
+
+TEST(Histogram, MergeRequiresIdenticalLayoutAndSums) {
+  Histogram a{0, 15};
+  Histogram b{0, 15};
+  a.record(3);
+  b.record(10);
+  b.record(12);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 3);
+  EXPECT_EQ(a.max(), 12);
+  EXPECT_EQ(a.sum(), 25);
+
+  Histogram other{0, 31};
+  EXPECT_THROW(a.merge(other), ContractViolation);
+}
+
+TEST(Histogram, FromPartsRoundTripsExactly) {
+  Histogram h{0, 63};
+  for (const std::int64_t v : {0, 1, 1, 5, 40, 63}) h.record(v);
+  std::vector<std::uint64_t> buckets;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) buckets.push_back(h.bucket(i));
+  const Histogram rebuilt = Histogram::from_parts(h.lower_bound(), h.bucket_width(),
+                                                  std::move(buckets), h.count(), h.sum(),
+                                                  h.min(), h.max());
+  EXPECT_EQ(rebuilt, h);
+}
+
+TEST(Histogram, FromPartsRejectsInconsistentParts) {
+  // Bucket counts that do not sum to `count` must be rejected.
+  EXPECT_THROW((void)Histogram::from_parts(0, 1, {1, 1}, 3, 2, 0, 1), ContractViolation);
+  EXPECT_THROW((void)Histogram::from_parts(0, 0, {1}, 1, 0, 0, 0), ContractViolation);
+  EXPECT_THROW((void)Histogram::from_parts(0, 1, {}, 0, 0, 0, 0), ContractViolation);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("test/a");
+  const auto again = reg.counter("test/a");
+  EXPECT_EQ(a, again);
+  const auto g = reg.gauge("test/gauge");
+  EXPECT_NE(a, g);
+}
+
+TEST(MetricsRegistry, CountersSumAndGaugesTakeTheMax) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("test/count");
+  const auto g = reg.gauge("test/high_water");
+  reg.add(c, 5);
+  reg.add(c);
+  reg.gauge_max(g, 7);
+  reg.gauge_max(g, 3);  // lower: must not regress the high-water mark
+  EXPECT_EQ(reg.value(c), 6u);
+  EXPECT_EQ(reg.value(g), 7u);
+
+  const auto samples = reg.collect();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "test/count");
+  EXPECT_FALSE(samples[0].is_gauge);
+  EXPECT_EQ(samples[0].value, 6u);
+  EXPECT_EQ(samples[1].name, "test/high_water");
+  EXPECT_TRUE(samples[1].is_gauge);
+
+  reg.reset();
+  EXPECT_EQ(reg.value(c), 0u);
+  EXPECT_EQ(reg.value(g), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingMergesDeterministically) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("test/parallel");
+  const auto g = reg.gauge("test/parallel_max");
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&reg, c, g, t]() {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) reg.add(c);
+      reg.gauge_max(g, t + 1);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(reg.value(c), kThreads * kPerThread);
+  EXPECT_EQ(reg.value(g), kThreads);
+}
+
+TEST(PhaseTimers, DisabledTimersRecordNothing) {
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(false);
+  { const obs::ScopedPhaseTimer t{obs::Phase::CodecRank}; }
+  for (const obs::PhaseTotal& total : obs::collect_phase_totals()) {
+    EXPECT_EQ(total.calls, 0u) << obs::to_string(total.phase);
+  }
+}
+
+TEST(PhaseTimers, EnabledTimersCountCallsPerPhase) {
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(true);
+  { const obs::ScopedPhaseTimer t{obs::Phase::CodecRank}; }
+  { const obs::ScopedPhaseTimer t{obs::Phase::CodecRank}; }
+  { const obs::ScopedPhaseTimer t{obs::Phase::SimStep}; }
+  obs::set_phase_timing_enabled(false);
+  std::uint64_t rank_calls = 0;
+  std::uint64_t step_calls = 0;
+  for (const obs::PhaseTotal& total : obs::collect_phase_totals()) {
+    if (total.phase == obs::Phase::CodecRank) rank_calls = total.calls;
+    if (total.phase == obs::Phase::SimStep) step_calls = total.calls;
+  }
+  EXPECT_EQ(rank_calls, 2u);
+  EXPECT_EQ(step_calls, 1u);
+}
+
+}  // namespace
+}  // namespace rstp

@@ -1,0 +1,184 @@
+// Tests for the always-on RunMetrics snapshot: populated without a trace,
+// differentially consistent with trace-derived statistics, identical with
+// tracing on or off, and exactly round-tripped through the JSONL sink.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rstp/core/effort.h"
+#include "rstp/core/trace_stats.h"
+#include "rstp/obs/json.h"
+#include "rstp/obs/sinks.h"
+#include "rstp/protocols/factory.h"
+
+namespace rstp {
+namespace {
+
+using core::Environment;
+using protocols::ProtocolKind;
+
+protocols::ProtocolConfig sample_config(ProtocolKind kind, std::size_t n = 32) {
+  protocols::ProtocolConfig cfg;
+  cfg.params = core::TimingParams::make(1, 2, 6);
+  cfg.k = 4;
+  cfg.input = core::make_random_input(n, 7);
+  if (kind == ProtocolKind::Indexed) {
+    cfg.k = static_cast<std::uint32_t>(2 * n);
+  }
+  return cfg;
+}
+
+TEST(RunMetrics, PopulatedForEveryProtocolWithoutATrace) {
+  for (const ProtocolKind kind : protocols::kAllProtocolKinds) {
+    SCOPED_TRACE(std::string(protocols::to_string(kind)));
+    const protocols::ProtocolConfig cfg = sample_config(kind);
+    const core::ProtocolRun run =
+        core::run_protocol(kind, cfg, Environment::worst_case(), /*record_trace=*/false);
+    ASSERT_TRUE(run.output_correct);
+    EXPECT_EQ(run.result.trace.size(), 0u);  // genuinely headless
+
+    const obs::RunCounters& c = run.result.metrics.counters;
+    EXPECT_GT(c.events, 0u);
+    EXPECT_GT(c.data_sends, 0u);
+    EXPECT_GT(c.data_recvs, 0u);
+    EXPECT_EQ(c.writes, cfg.input.size());
+    EXPECT_GT(c.transmitter_steps, 0u);
+    EXPECT_GT(c.receiver_steps, 0u);
+    EXPECT_EQ(c.dropped, 0u);
+
+    // Histogram totals must agree with the counters they shadow.
+    EXPECT_EQ(run.result.metrics.data_delay.count(), c.data_recvs);
+    EXPECT_EQ(run.result.metrics.ack_delay.count(), c.ack_recvs);
+    EXPECT_EQ(run.result.metrics.transmitter_gap.count(), c.transmitter_steps - 1);
+    EXPECT_EQ(run.result.metrics.receiver_gap.count(), c.receiver_steps - 1);
+    // Worst case: every delay is exactly d; realized gaps are never under c1
+    // (a stop/resume gap can exceed c2, so no upper-bound assertion here).
+    EXPECT_EQ(run.result.metrics.data_delay.min(), cfg.params.d.ticks());
+    EXPECT_EQ(run.result.metrics.data_delay.max(), cfg.params.d.ticks());
+    EXPECT_GE(run.result.metrics.transmitter_gap.min(), cfg.params.c1.ticks());
+  }
+}
+
+TEST(RunMetrics, ProtocolCountersReportedThroughTheStatHook) {
+  // γ acknowledges every packet: acks flow and block boundaries are counted.
+  const protocols::ProtocolConfig cfg = sample_config(ProtocolKind::Gamma);
+  const core::ProtocolRun run =
+      core::run_protocol(ProtocolKind::Gamma, cfg, Environment::worst_case(),
+                         /*record_trace=*/false);
+  const obs::ProtocolCounters& p = run.result.metrics.counters.protocol;
+  EXPECT_GT(p.blocks_encoded, 0u);
+  EXPECT_EQ(p.blocks_encoded, p.blocks_decoded);
+  EXPECT_GT(p.acks_sent, 0u);
+  EXPECT_EQ(p.acks_sent, p.acks_observed);
+  EXPECT_EQ(p.retransmissions, 0u);
+
+  // β is r-passive: block counters flow, no acks at all.
+  const protocols::ProtocolConfig beta_cfg = sample_config(ProtocolKind::Beta);
+  const core::ProtocolRun beta = core::run_protocol(ProtocolKind::Beta, beta_cfg,
+                                                    Environment::worst_case(),
+                                                    /*record_trace=*/false);
+  EXPECT_GT(beta.result.metrics.counters.protocol.blocks_encoded, 0u);
+  EXPECT_EQ(beta.result.metrics.counters.protocol.acks_sent, 0u);
+}
+
+TEST(RunMetrics, CountersMatchTraceDerivedStatistics) {
+  for (const ProtocolKind kind : {ProtocolKind::Gamma, ProtocolKind::Beta, ProtocolKind::AltBit}) {
+    SCOPED_TRACE(std::string(protocols::to_string(kind)));
+    const protocols::ProtocolConfig cfg = sample_config(kind, 48);
+    const core::ProtocolRun run =
+        core::run_protocol(kind, cfg, Environment::randomized(11));
+    ASSERT_TRUE(run.output_correct);
+    const core::TraceStats stats = core::compute_trace_stats(run.result.trace);
+    const obs::RunMetrics& m = run.result.metrics;
+
+    EXPECT_EQ(stats.writes, m.counters.writes);
+    EXPECT_EQ(stats.transmitter.steps, m.counters.transmitter_steps);
+    EXPECT_EQ(stats.receiver.steps, m.counters.receiver_steps);
+    EXPECT_EQ(stats.data.delivered, m.counters.data_recvs);
+    EXPECT_EQ(stats.acks.delivered, m.counters.ack_recvs);
+    EXPECT_EQ(stats.data.delivered + stats.data.unmatched_sends, m.counters.data_sends);
+    EXPECT_EQ(stats.acks.delivered + stats.acks.unmatched_sends, m.counters.ack_sends);
+    if (stats.data.delivered > 0) {
+      EXPECT_EQ(stats.data.min_delay->ticks(), m.data_delay.min());
+      EXPECT_EQ(stats.data.max_delay->ticks(), m.data_delay.max());
+      EXPECT_DOUBLE_EQ(stats.data.mean_delay, m.data_delay.mean());
+      // Both percentile paths run the same nearest-rank rule over the same
+      // samples (width 1 in both, since delays span ≤ d = 6 ticks).
+      EXPECT_EQ(stats.data.p95_delay->ticks(), m.data_delay.percentile(95));
+    }
+    if (stats.transmitter.steps > 1) {
+      EXPECT_EQ(stats.transmitter.min_gap->ticks(), m.transmitter_gap.min());
+      EXPECT_EQ(stats.transmitter.max_gap->ticks(), m.transmitter_gap.max());
+    }
+  }
+}
+
+TEST(RunMetrics, IdenticalWithTracingOnOrOff) {
+  const protocols::ProtocolConfig cfg = sample_config(ProtocolKind::Gamma);
+  const core::ProtocolRun traced =
+      core::run_protocol(ProtocolKind::Gamma, cfg, Environment::randomized(3));
+  const core::ProtocolRun headless = core::run_protocol(
+      ProtocolKind::Gamma, cfg, Environment::randomized(3), /*record_trace=*/false);
+  EXPECT_EQ(traced.result.metrics, headless.result.metrics);
+}
+
+obs::RunMetricsRecord sample_record(ProtocolKind kind, std::uint64_t seed) {
+  const protocols::ProtocolConfig cfg = sample_config(kind);
+  core::Environment env = core::Environment::randomized(seed);
+  const core::ProtocolRun run = core::run_protocol(kind, cfg, env, /*record_trace=*/false);
+  obs::RunMetricsRecord record;
+  record.protocol = protocols::to_string(kind);
+  record.c1 = cfg.params.c1.ticks();
+  record.c2 = cfg.params.c2.ticks();
+  record.d = cfg.params.d.ticks();
+  record.k = cfg.k;
+  record.input_bits = cfg.input.size();
+  record.seed = seed;
+  record.effort = 3.1415926;
+  record.end_time = (run.result.end_time - Time::zero()).ticks();
+  record.correct = run.output_correct;
+  record.quiescent = run.result.quiescent;
+  record.metrics = run.result.metrics;
+  return record;
+}
+
+TEST(MetricsSinks, JsonlRoundTripIsExact) {
+  std::vector<obs::RunMetricsRecord> records;
+  records.push_back(sample_record(ProtocolKind::Gamma, 0xFFFF'FFFF'FFFF'FFFFull));
+  records.push_back(sample_record(ProtocolKind::Beta, 2));
+  std::ostringstream out;
+  for (const obs::RunMetricsRecord& r : records) obs::write_run_metrics_jsonl(out, r);
+
+  std::istringstream in{out.str()};
+  const std::vector<obs::RunMetricsRecord> parsed = obs::read_run_metrics_jsonl(in);
+  ASSERT_EQ(parsed.size(), records.size());
+  EXPECT_EQ(parsed[0], records[0]);  // u64 seed and doubles survive exactly
+  EXPECT_EQ(parsed[1], records[1]);
+}
+
+TEST(MetricsSinks, MalformedLinesAreRejectedWithTheLineNumber) {
+  std::istringstream bad{"\nnot json\n"};  // blank line 1 is skipped
+  try {
+    (void)obs::read_run_metrics_jsonl(bad);
+    FAIL() << "expected JsonParseError";
+  } catch (const obs::JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+
+  std::istringstream wrong_schema{"{\"schema\": \"something-else\"}\n"};
+  EXPECT_THROW((void)obs::read_run_metrics_jsonl(wrong_schema), obs::JsonParseError);
+}
+
+TEST(MetricsSinks, TableRendersOneRowPerRunAndATotalsLine) {
+  std::vector<obs::RunMetricsRecord> records;
+  records.push_back(sample_record(ProtocolKind::Gamma, 5));
+  std::ostringstream os;
+  obs::print_metrics_table(os, records);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("protocol"), std::string::npos) << text;
+  EXPECT_NE(text.find("gamma"), std::string::npos);
+  EXPECT_NE(text.find("runs: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rstp

@@ -11,6 +11,8 @@
 //         --seed N                              (default 1)
 //         --trace FILE                          write the timed trace
 //         --stats                               print trace statistics
+//         --metrics-out FILE                    append the run's metrics (JSONL)
+//         --timing                              print wall-clock phase timings
 //
 //   rstp verify  <c1> <c2> <d> <tracefile> <bits>
 //       Check a saved trace against good(A) and the expected output.
@@ -19,17 +21,23 @@
 //       Exhaustively verify all schedules (c1=c2=1) for a small instance;
 //       prints a counterexample trace on failure.
 //
-//   rstp bench [--json PATH] [--threads N]...
+//   rstp bench [--json PATH] [--threads N]... [--metrics-out FILE]
 //       Run the reference simulation campaign at several thread counts,
 //       verify bitwise determinism, time the codec hot paths, and write the
-//       perf baseline JSON (schema in docs/PERF.md).
+//       perf baseline JSON (schema in docs/PERF.md). Campaign progress lines
+//       go to stderr; --metrics-out appends one JSONL row per job.
+//
+//   rstp report <metrics.jsonl>
+//       Render a metrics JSONL file (from --metrics-out) as a table.
 //
 // Exit code 0 on success/verified, 1 on failure, 2 on usage errors.
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rstp/core/bounds.h"
@@ -38,6 +46,7 @@
 #include "rstp/core/verify.h"
 #include "rstp/ioa/explorer.h"
 #include "rstp/ioa/trace_io.h"
+#include "rstp/obs/sinks.h"
 #include "rstp/protocols/factory.h"
 #include "rstp/sim/campaign_bench.h"
 
@@ -50,10 +59,31 @@ int usage() {
   std::cerr << "usage:\n"
                "  rstp bounds  <c1> <c2> <d> <k>\n"
                "  rstp run     <protocol> <c1> <c2> <d> <k> <n|bits>"
-               " [--env worst|fast|random|adversarial] [--seed N] [--trace FILE] [--stats]\n"
+               " [--env worst|fast|random|adversarial] [--seed N] [--trace FILE] [--stats]"
+               " [--metrics-out FILE] [--timing]\n"
                "  rstp verify  <c1> <c2> <d> <tracefile> <bits>\n"
                "  rstp explore <protocol> <d> <k> <bits>\n"
-               "  rstp bench   [--json PATH] [--threads N]...\n";
+               "  rstp bench   [--json PATH] [--threads N]... [--metrics-out FILE]\n"
+               "  rstp report  <metrics.jsonl>\n";
+  return 2;
+}
+
+/// Checked numeric parsing: the whole token must be one decimal number that
+/// fits the target type. std::nullopt on any malformed or out-of-range token
+/// (unlike std::stoll, which accepts trailing garbage and throws on range).
+template <typename T>
+[[nodiscard]] std::optional<T> parse_number(std::string_view text) {
+  T value{};
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+/// Reports a bad numeric token the way usage errors are reported: name the
+/// argument, echo the offending token, exit 2.
+int bad_number(std::string_view what, std::string_view token) {
+  std::cerr << "invalid " << what << " '" << token << "': expected a decimal integer\n";
   return 2;
 }
 
@@ -67,22 +97,43 @@ std::optional<ProtocolKind> parse_protocol(const std::string& name) {
 /// Parses the input argument: a pure 0/1 string of length ≥ 8 is a literal
 /// bit sequence; anything else is a decimal length for a seeded random
 /// input (so "64" is 64 random bits, "01100110" is those exact 8 bits).
-std::vector<ioa::Bit> parse_input(const std::string& text, std::uint64_t seed) {
+/// std::nullopt when the token is neither.
+std::optional<std::vector<ioa::Bit>> parse_input(const std::string& text, std::uint64_t seed) {
   if (text.find_first_not_of("01") == std::string::npos && text.size() >= 8) {
     std::vector<ioa::Bit> bits;
     bits.reserve(text.size());
     for (const char c : text) bits.push_back(static_cast<ioa::Bit>(c - '0'));
     return bits;
   }
-  return core::make_random_input(std::stoul(text), seed);
+  const auto length = parse_number<std::uint32_t>(text);
+  if (!length.has_value()) return std::nullopt;
+  return core::make_random_input(*length, seed);
+}
+
+/// Appends metric records to a JSONL file (append, so several runs can
+/// accumulate into one report input). False when the file cannot be opened.
+bool append_metrics_jsonl(const std::string& path,
+                          const std::vector<obs::RunMetricsRecord>& records) {
+  std::ofstream out{path, std::ios::app};
+  if (!out) return false;
+  for (const obs::RunMetricsRecord& record : records) {
+    obs::write_run_metrics_jsonl(out, record);
+  }
+  return static_cast<bool>(out);
 }
 
 int cmd_bounds(int argc, char** argv) {
   if (argc != 6) return usage();
-  const auto params = core::TimingParams::make(std::stoll(argv[2]), std::stoll(argv[3]),
-                                               std::stoll(argv[4]));
-  const auto k = static_cast<std::uint32_t>(std::stoul(argv[5]));
-  std::cout << core::compute_bounds(params, k) << '\n';
+  const auto c1 = parse_number<std::int64_t>(argv[2]);
+  if (!c1.has_value()) return bad_number("c1", argv[2]);
+  const auto c2 = parse_number<std::int64_t>(argv[3]);
+  if (!c2.has_value()) return bad_number("c2", argv[3]);
+  const auto d = parse_number<std::int64_t>(argv[4]);
+  if (!d.has_value()) return bad_number("d", argv[4]);
+  const auto k = parse_number<std::uint32_t>(argv[5]);
+  if (!k.has_value()) return bad_number("k", argv[5]);
+  const auto params = core::TimingParams::make(*c1, *c2, *d);
+  std::cout << core::compute_bounds(params, *k) << '\n';
   return 0;
 }
 
@@ -93,15 +144,24 @@ int cmd_run(int argc, char** argv) {
     std::cerr << "unknown protocol '" << argv[2] << "'\n";
     return 2;
   }
+  const auto c1 = parse_number<std::int64_t>(argv[3]);
+  if (!c1.has_value()) return bad_number("c1", argv[3]);
+  const auto c2 = parse_number<std::int64_t>(argv[4]);
+  if (!c2.has_value()) return bad_number("c2", argv[4]);
+  const auto d = parse_number<std::int64_t>(argv[5]);
+  if (!d.has_value()) return bad_number("d", argv[5]);
+  const auto k = parse_number<std::uint32_t>(argv[6]);
+  if (!k.has_value()) return bad_number("k", argv[6]);
   protocols::ProtocolConfig cfg;
-  cfg.params = core::TimingParams::make(std::stoll(argv[3]), std::stoll(argv[4]),
-                                        std::stoll(argv[5]));
-  cfg.k = static_cast<std::uint32_t>(std::stoul(argv[6]));
+  cfg.params = core::TimingParams::make(*c1, *c2, *d);
+  cfg.k = *k;
 
   core::Environment env = core::Environment::worst_case();
   std::uint64_t seed = 1;
   std::string trace_file;
+  std::string metrics_file;
   bool want_stats = false;
+  bool want_timing = false;
   for (int i = 8; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--env" && i + 1 < argc) {
@@ -121,34 +181,44 @@ int cmd_run(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
+      const auto parsed = parse_number<std::uint64_t>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--seed", argv[i]);
+      seed = *parsed;
       env.seed = seed;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_file = argv[++i];
     } else if (arg == "--stats") {
       want_stats = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else if (arg == "--timing") {
+      want_timing = true;
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       return 2;
     }
   }
-  cfg.input = parse_input(argv[7], seed);
+  const auto input = parse_input(argv[7], seed);
+  if (!input.has_value()) return bad_number("input length", argv[7]);
+  cfg.input = *input;
   if (*kind == ProtocolKind::Indexed) {
     cfg.k = std::max<std::uint32_t>(cfg.k,
                                     static_cast<std::uint32_t>(2 * std::max<std::size_t>(
                                                                        1, cfg.input.size())));
   }
 
+  if (want_timing) obs::set_phase_timing_enabled(true);
   const core::ProtocolRun run = core::run_protocol(*kind, cfg, env);
+  if (want_timing) obs::set_phase_timing_enabled(false);
   std::cout << "protocol:   " << protocols::to_string(*kind) << "\n"
             << "model:      " << cfg.params << " k=" << cfg.k << "\n"
             << "input bits: " << cfg.input.size() << "\n"
             << "completed:  " << (run.result.quiescent ? "yes" : "NO") << "\n"
             << "correct:    " << (run.output_correct ? "yes" : "NO") << "\n";
+  double effort = 0;
   if (run.result.last_transmitter_send.has_value() && !cfg.input.empty()) {
-    const double effort =
-        static_cast<double>((*run.result.last_transmitter_send - Time::zero()).ticks()) /
-        static_cast<double>(cfg.input.size());
+    effort = static_cast<double>((*run.result.last_transmitter_send - Time::zero()).ticks()) /
+             static_cast<double>(cfg.input.size());
     std::cout << "effort:     " << effort << " ticks/bit\n";
   }
   const core::VerifyResult verdict = core::verify_trace(run.result.trace, cfg.params, cfg.input);
@@ -156,6 +226,30 @@ int cmd_run(int argc, char** argv) {
   if (!verdict.ok()) std::cout << verdict;
   if (want_stats) {
     std::cout << core::compute_trace_stats(run.result.trace) << '\n';
+  }
+  if (want_timing) {
+    std::cout << "phase timing:\n";
+    obs::print_phase_table(std::cout, obs::collect_phase_totals());
+  }
+  if (!metrics_file.empty()) {
+    obs::RunMetricsRecord record;
+    record.protocol = protocols::to_string(*kind);
+    record.c1 = cfg.params.c1.ticks();
+    record.c2 = cfg.params.c2.ticks();
+    record.d = cfg.params.d.ticks();
+    record.k = cfg.k;
+    record.input_bits = cfg.input.size();
+    record.seed = env.seed;
+    record.effort = effort;
+    record.end_time = (run.result.end_time - Time::zero()).ticks();
+    record.correct = run.output_correct;
+    record.quiescent = run.result.quiescent;
+    record.metrics = run.result.metrics;
+    if (!append_metrics_jsonl(metrics_file, {record})) {
+      std::cerr << "cannot open '" << metrics_file << "'\n";
+      return 1;
+    }
+    std::cout << "metrics:    appended to " << metrics_file << "\n";
   }
   if (!trace_file.empty()) {
     std::ofstream out{trace_file};
@@ -172,8 +266,13 @@ int cmd_run(int argc, char** argv) {
 
 int cmd_verify(int argc, char** argv) {
   if (argc != 7) return usage();
-  const auto params = core::TimingParams::make(std::stoll(argv[2]), std::stoll(argv[3]),
-                                               std::stoll(argv[4]));
+  const auto c1 = parse_number<std::int64_t>(argv[2]);
+  if (!c1.has_value()) return bad_number("c1", argv[2]);
+  const auto c2 = parse_number<std::int64_t>(argv[3]);
+  if (!c2.has_value()) return bad_number("c2", argv[3]);
+  const auto d = parse_number<std::int64_t>(argv[4]);
+  if (!d.has_value()) return bad_number("d", argv[4]);
+  const auto params = core::TimingParams::make(*c1, *c2, *d);
   std::ifstream in{argv[5]};
   if (!in) {
     std::cerr << "cannot open '" << argv[5] << "'\n";
@@ -200,10 +299,13 @@ int cmd_explore(int argc, char** argv) {
     std::cerr << "unknown protocol '" << argv[2] << "'\n";
     return 2;
   }
-  const std::int64_t d = std::stoll(argv[3]);
+  const auto d = parse_number<std::int64_t>(argv[3]);
+  if (!d.has_value()) return bad_number("d", argv[3]);
   protocols::ProtocolConfig cfg;
-  cfg.params = core::TimingParams::make(1, 1, d);
-  cfg.k = static_cast<std::uint32_t>(std::stoul(argv[4]));
+  cfg.params = core::TimingParams::make(1, 1, *d);
+  const auto k = parse_number<std::uint32_t>(argv[4]);
+  if (!k.has_value()) return bad_number("k", argv[4]);
+  cfg.k = *k;
   for (const char c : std::string{argv[5]}) {
     if (c != '0' && c != '1') {
       std::cerr << "input must be a 0/1 string\n";
@@ -217,7 +319,7 @@ int cmd_explore(int argc, char** argv) {
   }
   const auto instance = protocols::make_protocol(*kind, cfg);
   ioa::ExplorerConfig config;
-  config.d = d;
+  config.d = *d;
   const auto& input = cfg.input;
   const auto prefix = [&input](const ioa::Automaton&, const ioa::Automaton& r) {
     const auto& out = dynamic_cast<const protocols::ReceiverBase&>(r).output();
@@ -248,6 +350,7 @@ int cmd_explore(int argc, char** argv) {
 
 int cmd_bench(int argc, char** argv) {
   std::string json_path = "BENCH_campaign.json";
+  std::string metrics_file;
   sim::CampaignBenchOptions options;
   std::vector<unsigned> threads;
   for (int i = 2; i < argc; ++i) {
@@ -255,15 +358,49 @@ int cmd_bench(int argc, char** argv) {
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
-      threads.push_back(static_cast<unsigned>(std::stoul(argv[++i])));
+      const auto parsed = parse_number<unsigned>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--threads", argv[i]);
+      threads.push_back(*parsed);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_file = argv[++i];
     } else {
       return usage();
     }
   }
   if (!threads.empty()) options.thread_counts = threads;
+  // Progress goes to stderr so the stdout summary (and anything grepping it)
+  // stays stable; the bench module attaches it to the untimed warmup run.
+  options.progress.out = &std::cerr;
+  options.progress.interval = std::chrono::milliseconds{500};
 
   const sim::CampaignBenchReport report = sim::run_campaign_bench(options);
   sim::print_campaign_bench(std::cout, report);
+  if (!metrics_file.empty()) {
+    std::vector<obs::RunMetricsRecord> records;
+    records.reserve(report.serial_result.jobs.size());
+    const std::size_t input_bits = sim::reference_campaign_spec().input_bits;
+    for (const sim::CampaignJobResult& j : report.serial_result.jobs) {
+      obs::RunMetricsRecord record;
+      record.protocol = protocols::to_string(j.protocol);
+      record.c1 = j.params.c1.ticks();
+      record.c2 = j.params.c2.ticks();
+      record.d = j.params.d.ticks();
+      record.k = j.k;
+      record.input_bits = input_bits;
+      record.seed = j.env_seed;
+      record.effort = j.effort;
+      record.correct = j.output_correct;
+      record.quiescent = j.quiescent;
+      record.metrics = j.metrics;
+      records.push_back(std::move(record));
+    }
+    if (!append_metrics_jsonl(metrics_file, records)) {
+      std::cerr << "cannot open '" << metrics_file << "'\n";
+      return 1;
+    }
+    std::cout << "metrics:    appended " << records.size() << " jobs to " << metrics_file
+              << "\n";
+  }
   std::ofstream out{json_path};
   if (!out) {
     std::cerr << "cannot open '" << json_path << "'\n";
@@ -272,6 +409,18 @@ int cmd_bench(int argc, char** argv) {
   sim::write_campaign_bench_json(out, report);
   std::cout << "baseline:   written to " << json_path << "\n";
   return report.ok() ? 0 : 1;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc != 3) return usage();
+  std::ifstream in{argv[2]};
+  if (!in) {
+    std::cerr << "cannot open '" << argv[2] << "'\n";
+    return 1;
+  }
+  const std::vector<obs::RunMetricsRecord> records = obs::read_run_metrics_jsonl(in);
+  obs::print_metrics_table(std::cout, records);
+  return 0;
 }
 
 }  // namespace
@@ -285,6 +434,7 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(argc, argv);
     if (command == "explore") return cmd_explore(argc, argv);
     if (command == "bench") return cmd_bench(argc, argv);
+    if (command == "report") return cmd_report(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
