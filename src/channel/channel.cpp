@@ -54,6 +54,8 @@ std::optional<Time> Channel::next_delivery_time() const {
 }
 
 const std::vector<InFlightPacket>& Channel::collect_due(Time now) {
+  // Nests under the simulator's deliver phase (channel_push, its counterpart
+  // on the send side, nests under sim_step).
   const obs::ScopedPhaseTimer timer{obs::Phase::ChannelPop};
   due_scratch_.clear();
   while (!in_flight_.empty() && in_flight_.front().deliver_at <= now) {

@@ -152,6 +152,8 @@ const BigUint& MultisetCodec::suffix_count(std::uint32_t j, std::uint32_t L) con
 }
 
 BigUint MultisetCodec::rank(const Multiset& m) const {
+  // Nests under proto_apply/proto_enabled when a protocol encodes mid-step,
+  // so --timing attributes sim-step time to the codec work it contains.
   const obs::ScopedPhaseTimer timer{obs::Phase::CodecRank};
   RSTP_CHECK_EQ(m.universe(), k_, "multiset universe mismatch");
   RSTP_CHECK_EQ(m.size(), n_, "multiset size mismatch");

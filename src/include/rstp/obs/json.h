@@ -58,4 +58,8 @@ class JsonValue {
 /// Escapes a string for embedding in a JSON document (adds the quotes).
 [[nodiscard]] std::string json_quote(std::string_view s);
 
+/// Shortest decimal form of a double that round-trips exactly through
+/// to_double() (std::to_chars shortest / std::from_chars).
+[[nodiscard]] std::string json_number(double value);
+
 }  // namespace rstp::obs

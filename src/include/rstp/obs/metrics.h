@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -130,7 +131,9 @@ class MetricsRegistry {
   using MetricId = std::size_t;
 
   /// Per-shard slot capacity; registering more metrics than this throws.
-  static constexpr std::size_t kMaxMetrics = 256;
+  /// Sized for the flat phase totals plus the realized parent/child edge
+  /// counters of the nested timers with ample headroom (4 KiB per shard).
+  static constexpr std::size_t kMaxMetrics = 512;
 
   MetricsRegistry();
   ~MetricsRegistry();  // out of line: Shard is incomplete here
@@ -162,6 +165,12 @@ class MetricsRegistry {
   /// Merged value of one metric.
   [[nodiscard]] std::uint64_t value(MetricId id) const;
 
+  /// This thread's raw slot array (kMaxMetrics relaxed atomics, indexed by
+  /// MetricId). Implementation detail for the phase-timer exit path, which
+  /// batches several increments through a single thread-local lookup; all
+  /// other callers should use add()/gauge_max().
+  [[nodiscard]] std::atomic<std::uint64_t>* thread_slots();
+
   /// Zeroes every shard slot (the metric names stay registered).
   void reset();
 
@@ -182,14 +191,31 @@ class MetricsRegistry {
 
 // ---------------------------------------------------------------------------
 // Scoped wall-clock phase timers for the simulation hot paths.
+//
+// Timers nest: each recording thread keeps a stack of active phases, and a
+// timer's elapsed time is recorded twice — once under its own flat
+// "phase/<name>/{calls,ns}" totals (the original four-phase layout is a
+// strict subset of these), and once under the parent/child edge
+// "phase/<parent>/<child>/{calls,ns}" for the innermost enclosing phase, if
+// any. The edge counters are what lets `rstp run --timing` render a
+// flamegraph-style breakdown (sim step → protocol apply → codec rank) and
+// the diff gate localize which phase regressed.
 
 enum class Phase : std::uint8_t {
   CodecRank = 0,   ///< MultisetCodec::rank
   CodecUnrank,     ///< MultisetCodec::unrank
   ChannelPop,      ///< Channel::collect_due
   SimStep,         ///< Simulator::take_process_step (incl. scheduler gap)
+  ProtoEnabled,    ///< automaton enabled_local() inside a sim step
+  ProtoApply,      ///< automaton apply() of a locally chosen action
+  ProtoRecv,       ///< automaton apply() of a delivered packet
+  SchedGap,        ///< StepScheduler gap validation
+  RecordEvent,     ///< event bookkeeping (counters, optional trace append)
+  Deliver,         ///< Simulator::deliver_due (channel pop + recv applies)
+  ChannelPush,     ///< Channel::send (delivery policy + heap push)
+  StepAccount,     ///< per-step/per-delivery counter + histogram bookkeeping
 };
-inline constexpr std::size_t kPhaseCount = 4;
+inline constexpr std::size_t kPhaseCount = 12;
 
 [[nodiscard]] std::string_view to_string(Phase phase);
 
@@ -208,6 +234,20 @@ struct PhaseTotal {
 /// Merged "phase/<name>/{calls,ns}" counters from the global registry.
 [[nodiscard]] std::vector<PhaseTotal> collect_phase_totals();
 
+/// One parent→child attribution: time the child phase spent directly inside
+/// the parent. Edges aggregate over every instance of the pair, so a child's
+/// flat total minus the sum of its incoming edges is its top-level time.
+struct PhaseEdgeTotal {
+  Phase parent{};
+  Phase child{};
+  std::uint64_t calls = 0;
+  std::uint64_t nanos = 0;
+};
+
+/// Merged "phase/<parent>/<child>/{calls,ns}" counters, in (parent, child)
+/// enum order; only edges that actually occurred are returned.
+[[nodiscard]] std::vector<PhaseEdgeTotal> collect_phase_edge_totals();
+
 /// Zeroes the phase counters (global registry reset of the phase slots only
 /// is not supported; this resets the whole global registry).
 void reset_phase_totals();
@@ -216,24 +256,42 @@ namespace detail {
 /// Hot-path gate for ScopedPhaseTimer. Mutate only through
 /// set_phase_timing_enabled(); read with relaxed ordering.
 extern std::atomic<bool> phase_timing_flag;
-/// Armed slow path, out of line: monotonic clock + registry fold.
-[[nodiscard]] std::uint64_t phase_now_ns();
-void record_phase(Phase phase, std::uint64_t elapsed_ns);
+/// Monotonic clock read. Inline so the timer ctor reads it directly, before
+/// any other instrumentation work — everything the machinery does then falls
+/// inside the measured interval and is attributed to the phase it measures,
+/// not smeared into the enclosing phase's self time.
+[[nodiscard]] inline std::uint64_t phase_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+/// Pushes `phase` on this thread's phase stack.
+void phase_push(Phase phase);
+/// Pops the stack and records the elapsed time: the call count plus either
+/// the parent/child edge (when nested) or the phase's top-level slot. After
+/// its own clock read it performs exactly one relaxed add, so per-timer
+/// cost outside the measured interval stays a few nanoseconds.
+void phase_exit(Phase phase, std::uint64_t start_ns);
 }  // namespace detail
 
 /// RAII timer: records one call + elapsed nanoseconds into the global
-/// registry when phase timing is enabled; a no-op branch otherwise. Inline so
-/// the disabled path (the default on the simulation hot paths) compiles down
-/// to one relaxed load and a predictable branch — no call, no clock read.
+/// registry when phase timing is enabled (both the flat per-phase totals and
+/// the parent/child edge for the enclosing timer); a no-op branch otherwise.
+/// Inline so the disabled path (the default on the simulation hot paths)
+/// compiles down to one relaxed load and a predictable branch — no call, no
+/// clock read, no stack traffic.
 class ScopedPhaseTimer {
  public:
   explicit ScopedPhaseTimer(Phase phase)
       : phase_(phase),
         armed_(detail::phase_timing_flag.load(std::memory_order_relaxed)) {
-    if (armed_) start_ns_ = detail::phase_now_ns();
+    if (armed_) {
+      start_ns_ = detail::phase_now_ns();
+      detail::phase_push(phase_);
+    }
   }
   ~ScopedPhaseTimer() {
-    if (armed_) detail::record_phase(phase_, detail::phase_now_ns() - start_ns_);
+    if (armed_) detail::phase_exit(phase_, start_ns_);
   }
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
   ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;

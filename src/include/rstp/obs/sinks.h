@@ -54,4 +54,13 @@ void print_metrics_table(std::ostream& os, const std::vector<RunMetricsRecord>& 
 /// mean time) as a small table.
 void print_phase_table(std::ostream& os, const std::vector<PhaseTotal>& totals);
 
+/// Renders the nested parent/child attribution as an indented tree: roots
+/// are phases never observed inside another phase (plus the top-level
+/// residual of phases that occur both ways), children show their share of
+/// the parent, and a "(self)" line holds whatever a parent did not attribute
+/// to any child. Recursion stops at children shared by several parents,
+/// where a one-level edge cannot split the subtree exactly.
+void print_phase_tree(std::ostream& os, const std::vector<PhaseTotal>& totals,
+                      const std::vector<PhaseEdgeTotal>& edges);
+
 }  // namespace rstp::obs

@@ -29,6 +29,7 @@
 #include "rstp/core/effort.h"
 #include "rstp/core/params.h"
 #include "rstp/obs/run_metrics.h"
+#include "rstp/obs/sinks.h"
 #include "rstp/protocols/factory.h"
 
 namespace rstp::sim {
@@ -153,5 +154,13 @@ class Campaign {
 /// tests and ad-hoc reruns of one grid cell).
 [[nodiscard]] CampaignJobResult run_campaign_job(const CampaignJob& job, std::size_t input_bits,
                                                  std::uint64_t max_events);
+
+/// Flattens a campaign result into JSONL-exportable records: one
+/// RunMetricsRecord per job, in grid order, carrying the job's identity and
+/// its RunMetrics snapshot. `input_bits` is taken from the spec that
+/// produced the result (jobs do not carry it). end_time stays 0 — a
+/// campaign job reports effort, not an event-time trace.
+[[nodiscard]] std::vector<obs::RunMetricsRecord> campaign_metrics_records(
+    const CampaignResult& result, std::size_t input_bits);
 
 }  // namespace rstp::sim

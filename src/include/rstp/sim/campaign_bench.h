@@ -20,6 +20,13 @@ namespace rstp::sim {
 /// thread pool has real work to steal.
 [[nodiscard]] CampaignSpec reference_campaign_spec();
 
+/// The checked-in golden grid (tests/golden/campaign_baseline.jsonl): 32
+/// jobs, fixed campaign seed, deliberately smaller and *distinct* from the
+/// bench grid so regenerating the perf baseline never silently rewrites the
+/// regression gate's reference. `rstp campaign` runs exactly this spec; the
+/// metrics-gate CI job diffs its output against the checked-in file.
+[[nodiscard]] CampaignSpec golden_campaign_spec();
+
 struct CampaignBenchOptions {
   /// Thread counts to sweep; 0 entries mean hardware concurrency.
   std::vector<unsigned> thread_counts = {1, 2, 4, 0};

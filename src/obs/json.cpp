@@ -299,6 +299,13 @@ std::string JsonValue::string_or(std::string_view key, std::string fallback) con
 
 JsonValue parse_json(std::string_view input) { return Parser{input}.parse_document(); }
 
+std::string json_number(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  RSTP_CHECK(ec == std::errc{}, "double formatting cannot fail on a 64-byte buffer");
+  return std::string(buf, ptr);
+}
+
 std::string json_quote(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);

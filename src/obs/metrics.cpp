@@ -161,6 +161,10 @@ MetricsRegistry::Shard& MetricsRegistry::shard_for_this_thread() {
   return shard;
 }
 
+std::atomic<std::uint64_t>* MetricsRegistry::thread_slots() {
+  return shard_for_this_thread().slots.data();
+}
+
 void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
   RSTP_CHECK_LT(id, kMaxMetrics, "metric id out of range");
   Shard& shard = shard_for_this_thread();
@@ -233,6 +237,22 @@ std::string_view to_string(Phase phase) {
       return "channel_pop";
     case Phase::SimStep:
       return "sim_step";
+    case Phase::ProtoEnabled:
+      return "proto_enabled";
+    case Phase::ProtoApply:
+      return "proto_apply";
+    case Phase::ProtoRecv:
+      return "proto_recv";
+    case Phase::SchedGap:
+      return "sched_gap";
+    case Phase::RecordEvent:
+      return "record_event";
+    case Phase::Deliver:
+      return "deliver";
+    case Phase::ChannelPush:
+      return "channel_push";
+    case Phase::StepAccount:
+      return "step_account";
   }
   RSTP_UNREACHABLE("unknown phase");
 }
@@ -263,22 +283,85 @@ const PhaseIds& phase_ids() {
   return ids;
 }
 
+/// Lazily registered ids for the parent→child edge counters. Only realized
+/// edges register (a dense matrix of all pairs would crowd the registry for
+/// names that can never occur). Registration is idempotent, so the benign
+/// race — two threads hitting a fresh edge — resolves to the same id.
+constexpr std::size_t kEdgeUnregistered = ~std::size_t{0};
+
+struct EdgeIds {
+  std::atomic<std::size_t> calls{kEdgeUnregistered};
+  std::atomic<std::size_t> nanos{kEdgeUnregistered};
+};
+
+EdgeIds edge_ids[kPhaseCount][kPhaseCount];
+
+std::string edge_metric_name(Phase parent, Phase child, std::string_view leaf) {
+  std::string name = "phase/";
+  name += to_string(parent);
+  name += '/';
+  name += to_string(child);
+  name += '/';
+  name += leaf;
+  return name;
+}
+
+MetricsRegistry::MetricId edge_metric(std::atomic<std::size_t>& slot, Phase parent,
+                                      Phase child, std::string_view leaf) {
+  std::size_t id = slot.load(std::memory_order_relaxed);
+  if (id == kEdgeUnregistered) {
+    id = global_registry().counter(edge_metric_name(parent, child, leaf));
+    slot.store(id, std::memory_order_relaxed);
+  }
+  return id;
+}
+
+/// The per-thread stack of active (armed) phases. Depth can exceed the frame
+/// capacity without corruption — frames beyond it are simply not attributed.
+constexpr std::size_t kMaxPhaseDepth = 16;
+
+struct PhaseStack {
+  Phase frames[kMaxPhaseDepth];
+  std::size_t depth = 0;
+};
+
+thread_local PhaseStack phase_stack;
+
 }  // namespace
 
 namespace detail {
 
-std::uint64_t phase_now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+void phase_push(Phase phase) {
+  PhaseStack& stack = phase_stack;
+  if (stack.depth < kMaxPhaseDepth) stack.frames[stack.depth] = phase;
+  ++stack.depth;
 }
 
-void record_phase(Phase phase, std::uint64_t elapsed_ns) {
+void phase_exit(Phase phase, std::uint64_t start_ns) {
+  PhaseStack& stack = phase_stack;
+  if (stack.depth > 0) --stack.depth;
   const PhaseIds& ids = phase_ids();
   const auto i = static_cast<std::size_t>(phase);
-  global_registry().add(ids.calls[i], 1);
-  global_registry().add(ids.nanos[i], elapsed_ns);
+  // The raw "phase/<name>/ns" slot holds *top-level* time only; nested time
+  // goes to the parent/child edge slot instead, and collect_phase_totals()
+  // reconstructs the flat total as top-level + incoming edges. Splitting the
+  // storage this way leaves exactly one relaxed add after the clock read
+  // below, so per-timer cost outside the measured interval — the only
+  // instrumentation cost a parent's self time can ever absorb — is a few
+  // nanoseconds. Everything before the read (shard lookup, call counters,
+  // edge-id resolution) is charged to this phase itself.
+  std::atomic<std::uint64_t>* slots = global_registry().thread_slots();
+  slots[ids.calls[i]].fetch_add(1, std::memory_order_relaxed);
+  std::atomic<std::uint64_t>* nanos_slot = &slots[ids.nanos[i]];
+  if (stack.depth > 0 && stack.depth <= kMaxPhaseDepth) {
+    const Phase parent = stack.frames[stack.depth - 1];
+    EdgeIds& edge = edge_ids[static_cast<std::size_t>(parent)][i];
+    slots[edge_metric(edge.calls, parent, phase, "calls")].fetch_add(
+        1, std::memory_order_relaxed);
+    nanos_slot = &slots[edge_metric(edge.nanos, parent, phase, "ns")];
+  }
+  const std::uint64_t elapsed_ns = phase_now_ns() - start_ns;
+  nanos_slot->fetch_add(elapsed_ns, std::memory_order_relaxed);
 }
 
 }  // namespace detail
@@ -304,6 +387,32 @@ std::vector<PhaseTotal> collect_phase_totals() {
     total.calls = global_registry().value(ids.calls[i]);
     total.nanos = global_registry().value(ids.nanos[i]);
     out.push_back(total);
+  }
+  // The raw slot keeps only top-level time (see phase_exit); fold the
+  // incoming edges back in so a PhaseTotal reports the same all-elapsed
+  // quantity the pre-nesting four-phase layout did.
+  for (const PhaseEdgeTotal& edge : collect_phase_edge_totals()) {
+    out[static_cast<std::size_t>(edge.child)].nanos += edge.nanos;
+  }
+  return out;
+}
+
+std::vector<PhaseEdgeTotal> collect_phase_edge_totals() {
+  std::vector<PhaseEdgeTotal> out;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    for (std::size_t c = 0; c < kPhaseCount; ++c) {
+      const EdgeIds& edge = edge_ids[p][c];
+      const std::size_t calls_id = edge.calls.load(std::memory_order_relaxed);
+      const std::size_t nanos_id = edge.nanos.load(std::memory_order_relaxed);
+      if (calls_id == kEdgeUnregistered || nanos_id == kEdgeUnregistered) continue;
+      PhaseEdgeTotal total;
+      total.parent = static_cast<Phase>(p);
+      total.child = static_cast<Phase>(c);
+      total.calls = global_registry().value(calls_id);
+      total.nanos = global_registry().value(nanos_id);
+      if (total.calls == 0) continue;
+      out.push_back(total);
+    }
   }
   return out;
 }

@@ -274,4 +274,26 @@ CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress)
   return result;
 }
 
+std::vector<obs::RunMetricsRecord> campaign_metrics_records(const CampaignResult& result,
+                                                            std::size_t input_bits) {
+  std::vector<obs::RunMetricsRecord> records;
+  records.reserve(result.jobs.size());
+  for (const CampaignJobResult& j : result.jobs) {
+    obs::RunMetricsRecord record;
+    record.protocol = protocols::to_string(j.protocol);
+    record.c1 = j.params.c1.ticks();
+    record.c2 = j.params.c2.ticks();
+    record.d = j.params.d.ticks();
+    record.k = j.k;
+    record.input_bits = input_bits;
+    record.seed = j.env_seed;
+    record.effort = j.effort;
+    record.correct = j.output_correct;
+    record.quiescent = j.quiescent;
+    record.metrics = j.metrics;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 }  // namespace rstp::sim

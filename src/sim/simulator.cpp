@@ -46,6 +46,9 @@ const core::TimingParams& Simulator::params_for(ProcessId id) const {
 
 Duration Simulator::validated_gap(ProcessId id, StepScheduler& sched,
                                   std::uint64_t step_index) const {
+  // Nested under SimStep (per-step gaps) or Deliver (stop/resume gaps); the
+  // two initial offsets at run() start are the only top-level instances.
+  const obs::ScopedPhaseTimer timer{obs::Phase::SchedGap};
   const core::TimingParams& params = params_for(id);
   if (step_index == 0) {
     const Duration first = sched.first_offset();
@@ -66,6 +69,7 @@ Duration Simulator::validated_gap(ProcessId id, StepScheduler& sched,
 }
 
 void Simulator::record(RunResult& result, Time time, Actor actor, const Action& action) {
+  const obs::ScopedPhaseTimer timer{obs::Phase::RecordEvent};
   ++result.event_count;
   ++result.metrics.counters.events;
   result.end_time = time;
@@ -89,76 +93,107 @@ void Simulator::record(RunResult& result, Time time, Actor actor, const Action& 
 }
 
 void Simulator::deliver_due(RunResult& result, Time now) {
+  const obs::ScopedPhaseTimer timer{obs::Phase::Deliver};
   for (const channel::InFlightPacket& flight : channel_->collect_due(now)) {
     ioa::Automaton& dest = *procs_[index_of(flight.packet.destination())].automaton;
     const Action recv = Action::recv(flight.packet);
     RSTP_CHECK(dest.accepts_input(recv), "delivered packet not an input of its destination");
-    dest.apply(recv);
+    {
+      const obs::ScopedPhaseTimer recv_timer{obs::Phase::ProtoRecv};
+      dest.apply(recv);
+    }
     // The channel knows both endpoints of every flight, so delivery delay is
     // measured exactly — no post-hoc trace matching involved.
     const Duration delay = flight.deliver_at - flight.sent_at;
-    if (flight.packet.destination() == ProcessId::Receiver) {
-      ++result.metrics.counters.data_recvs;
-      result.metrics.data_delay.record(delay.ticks());
-    } else {
-      ++result.metrics.counters.ack_recvs;
-      result.metrics.ack_delay.record(delay.ticks());
+    {
+      const obs::ScopedPhaseTimer account_timer{obs::Phase::StepAccount};
+      if (flight.packet.destination() == ProcessId::Receiver) {
+        ++result.metrics.counters.data_recvs;
+        result.metrics.data_delay.record(delay.ticks());
+      } else {
+        ++result.metrics.counters.ack_recvs;
+        result.metrics.ack_delay.record(delay.ticks());
+      }
     }
     record(result, flight.deliver_at, Actor::Channel, recv);
     // A stopped process can be re-enabled by input; let it resume stepping.
     ProcessState& ps = procs_[index_of(flight.packet.destination())];
-    if (ps.stopped && ps.automaton->enabled_local().has_value()) {
-      ps.stopped = false;
-      ps.next_step = flight.deliver_at +
-                     validated_gap(flight.packet.destination(), *ps.scheduler, ps.steps_taken + 1);
+    if (ps.stopped) {
+      std::optional<Action> resume;
+      {
+        const obs::ScopedPhaseTimer enabled_timer{obs::Phase::ProtoEnabled};
+        resume = ps.automaton->enabled_local();
+      }
+      if (resume.has_value()) {
+        ps.stopped = false;
+        ps.next_step = flight.deliver_at + validated_gap(flight.packet.destination(),
+                                                         *ps.scheduler, ps.steps_taken + 1);
+      }
     }
   }
 }
 
 void Simulator::take_process_step(RunResult& result, ProcessState& ps, ProcessId id) {
   const obs::ScopedPhaseTimer timer{obs::Phase::SimStep};
-  const std::optional<Action> action = ps.automaton->enabled_local();
+  std::optional<Action> action;
+  {
+    const obs::ScopedPhaseTimer enabled_timer{obs::Phase::ProtoEnabled};
+    action = ps.automaton->enabled_local();
+  }
   if (!action.has_value()) {
     ps.stopped = true;
     return;
   }
   obs::RunCounters& counters = result.metrics.counters;
-  ps.automaton->apply(*action);
-  if (id == ProcessId::Transmitter) {
-    ++result.transmitter_steps;
-    ++counters.transmitter_steps;
-    if (action->kind == ActionKind::Internal) ++counters.transmitter_internal_steps;
-    if (ps.steps_taken > 0) {
-      result.metrics.transmitter_gap.record((ps.next_step - ps.last_step_time).ticks());
-    }
-  } else {
-    ++result.receiver_steps;
-    ++counters.receiver_steps;
-    if (action->kind == ActionKind::Internal) ++counters.receiver_internal_steps;
-    if (ps.steps_taken > 0) {
-      result.metrics.receiver_gap.record((ps.next_step - ps.last_step_time).ticks());
-    }
+  {
+    const obs::ScopedPhaseTimer apply_timer{obs::Phase::ProtoApply};
+    ps.automaton->apply(*action);
   }
-  ps.last_step_time = ps.next_step;
-  ++ps.steps_taken;
+  {
+    const obs::ScopedPhaseTimer account_timer{obs::Phase::StepAccount};
+    if (id == ProcessId::Transmitter) {
+      ++result.transmitter_steps;
+      ++counters.transmitter_steps;
+      if (action->kind == ActionKind::Internal) ++counters.transmitter_internal_steps;
+      if (ps.steps_taken > 0) {
+        result.metrics.transmitter_gap.record((ps.next_step - ps.last_step_time).ticks());
+      }
+    } else {
+      ++result.receiver_steps;
+      ++counters.receiver_steps;
+      if (action->kind == ActionKind::Internal) ++counters.receiver_internal_steps;
+      if (ps.steps_taken > 0) {
+        result.metrics.receiver_gap.record((ps.next_step - ps.last_step_time).ticks());
+      }
+    }
+    ps.last_step_time = ps.next_step;
+    ++ps.steps_taken;
+  }
   record(result, ps.next_step, ioa::actor_of(id), *action);
 
   if (action->kind == ActionKind::Send) {
-    RSTP_CHECK_EQ(static_cast<int>(action->packet.source()), static_cast<int>(id),
-                  "automaton sent a packet with the wrong direction tag");
-    if (id == ProcessId::Transmitter) {
-      ++result.transmitter_sends;
-      ++counters.data_sends;
-      result.last_transmitter_send = ps.next_step;
-    } else {
-      ++result.receiver_sends;
-      ++counters.ack_sends;
+    bool drop = false;
+    {
+      const obs::ScopedPhaseTimer account_timer{obs::Phase::StepAccount};
+      RSTP_CHECK_EQ(static_cast<int>(action->packet.source()), static_cast<int>(id),
+                    "automaton sent a packet with the wrong direction tag");
+      if (id == ProcessId::Transmitter) {
+        ++result.transmitter_sends;
+        ++counters.data_sends;
+        result.last_transmitter_send = ps.next_step;
+      } else {
+        ++result.receiver_sends;
+        ++counters.ack_sends;
+      }
+      const std::uint64_t send_count = result.transmitter_sends + result.receiver_sends;
+      drop = config_.drop_every_nth != 0 && send_count % config_.drop_every_nth == 0;
+      if (drop) {
+        ++result.dropped_packets;  // fault injection: packet lost outside the model
+        ++counters.dropped;
+      }
     }
-    const std::uint64_t send_count = result.transmitter_sends + result.receiver_sends;
-    if (config_.drop_every_nth != 0 && send_count % config_.drop_every_nth == 0) {
-      ++result.dropped_packets;  // fault injection: packet lost outside the model
-      ++counters.dropped;
-    } else {
+    if (!drop) {
+      const obs::ScopedPhaseTimer push_timer{obs::Phase::ChannelPush};
       channel_->send(action->packet, ps.next_step);
     }
   }

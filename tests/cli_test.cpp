@@ -162,6 +162,106 @@ TEST(Cli, RunTimingPrintsThePhaseTable) {
   EXPECT_EQ(run_command("run gamma 1 2 6 4 32 --timing", &out), 0);
   EXPECT_NE(out.find("phase timing:"), std::string::npos) << out;
   EXPECT_NE(out.find("sim_step"), std::string::npos) << out;
+  // The nested breakdown rides along: sim-step time is attributed to named
+  // children, with the unattributed remainder on a (self) line.
+  EXPECT_NE(out.find("phase tree"), std::string::npos) << out;
+  EXPECT_NE(out.find("proto_apply"), std::string::npos) << out;
+  EXPECT_NE(out.find("(self)"), std::string::npos) << out;
+}
+
+TEST(Cli, ReportDiffOfIdenticalSeriesHoldsTheGate) {
+  const std::string jsonl = ::testing::TempDir() + "/cli_diff_base.jsonl";
+  std::remove(jsonl.c_str());
+  std::string out;
+  ASSERT_EQ(run_command("run gamma 1 2 6 4 32 --metrics-out " + jsonl, &out), 0) << out;
+  EXPECT_EQ(run_command("report " + jsonl + " " + jsonl + " --fail-on 'effort_mean>1%'", &out),
+            0);
+  EXPECT_NE(out.find("0 changed"), std::string::npos) << out;
+  EXPECT_NE(out.find("gate: all 1 thresholds hold"), std::string::npos) << out;
+  std::remove(jsonl.c_str());
+}
+
+TEST(Cli, ReportDiffTripsTheGateOnARegression) {
+  const std::string old_jsonl = ::testing::TempDir() + "/cli_diff_old.jsonl";
+  const std::string new_jsonl = ::testing::TempDir() + "/cli_diff_new.jsonl";
+  std::remove(old_jsonl.c_str());
+  std::remove(new_jsonl.c_str());
+  std::string out;
+  // Same cell identity, radically different environment: the worst-case run
+  // works much harder per bit, so effort_mean regresses far past 1%.
+  ASSERT_EQ(run_command("run gamma 1 2 6 4 32 --env fast --metrics-out " + old_jsonl, &out), 0);
+  ASSERT_EQ(run_command("run gamma 1 2 6 4 32 --env worst --metrics-out " + new_jsonl, &out), 0);
+  EXPECT_EQ(run_command("report " + old_jsonl + " " + new_jsonl +
+                            " --fail-on 'effort_mean>1%'",
+                        &out),
+            3);
+  EXPECT_NE(out.find("gate: effort_mean>1% tripped"), std::string::npos) << out;
+  // Without --fail-on the same diff is informational and exits 0.
+  EXPECT_EQ(run_command("report " + old_jsonl + " " + new_jsonl, &out), 0);
+  EXPECT_NE(out.find("1 changed"), std::string::npos) << out;
+  std::remove(old_jsonl.c_str());
+  std::remove(new_jsonl.c_str());
+}
+
+TEST(Cli, ReportDiffJsonEmitsTheSchemaTag) {
+  const std::string jsonl = ::testing::TempDir() + "/cli_diff_json.jsonl";
+  std::remove(jsonl.c_str());
+  std::string out;
+  ASSERT_EQ(run_command("run beta 1 2 6 4 32 --metrics-out " + jsonl, &out), 0);
+  EXPECT_EQ(run_command("report " + jsonl + " " + jsonl + " --json", &out), 0);
+  EXPECT_NE(out.find("\"schema\":\"rstp-metrics-diff-v1\""), std::string::npos) << out;
+  std::remove(jsonl.c_str());
+}
+
+TEST(Cli, ReportDiffRejectsMalformedInputWithLineNumber) {
+  const std::string good = ::testing::TempDir() + "/cli_diff_good.jsonl";
+  const std::string bad = ::testing::TempDir() + "/cli_diff_bad.jsonl";
+  std::remove(good.c_str());
+  std::string out;
+  ASSERT_EQ(run_command("run beta 1 2 6 4 32 --metrics-out " + good, &out), 0);
+  // Copy the good line, then append garbage: the error must name line 2 of
+  // the offending file and use the usage-error exit code in two-file mode.
+  std::ifstream in{good};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  std::ofstream{bad} << line << "\n" << "{\"schema\":\"rstp-run-metrics-v1\", broken\n";
+  EXPECT_EQ(run_command("report " + good + " " + bad, &out), 2);
+  EXPECT_NE(out.find(bad), std::string::npos) << out;
+  EXPECT_NE(out.find("line 2"), std::string::npos) << out;
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(Cli, ReportDiffRejectsBadThresholdSpecs) {
+  const std::string jsonl = ::testing::TempDir() + "/cli_diff_spec.jsonl";
+  std::remove(jsonl.c_str());
+  std::string out;
+  ASSERT_EQ(run_command("run beta 1 2 6 4 32 --metrics-out " + jsonl, &out), 0);
+  EXPECT_EQ(run_command("report " + jsonl + " " + jsonl + " --fail-on 'effort_mean>>1%'",
+                        &out),
+            2);
+  EXPECT_NE(out.find("bad --fail-on clause"), std::string::npos) << out;
+  EXPECT_EQ(run_command("report " + jsonl + " " + jsonl + " --fail-on 'no_such_thing>1'",
+                        &out),
+            2);
+  EXPECT_NE(out.find("no_such_thing"), std::string::npos) << out;
+  std::remove(jsonl.c_str());
+}
+
+TEST(Cli, CampaignRunsTheGoldenGrid) {
+  const std::string jsonl = ::testing::TempDir() + "/cli_campaign.jsonl";
+  std::remove(jsonl.c_str());
+  std::string out;
+  EXPECT_EQ(run_command("campaign --metrics-out " + jsonl + " --threads 2", &out), 0);
+  EXPECT_NE(out.find("golden grid: 32 jobs, 0 incorrect"), std::string::npos) << out;
+  // The exported series diffs clean against itself through the gate — the
+  // exact invocation the metrics-gate CI job uses.
+  EXPECT_EQ(run_command("report " + jsonl + " " + jsonl +
+                            " --fail-on 'cells_changed>0,cells_missing>0,cells_extra>0'",
+                        &out),
+            0);
+  EXPECT_NE(out.find("gate: all 3 thresholds hold"), std::string::npos) << out;
+  std::remove(jsonl.c_str());
 }
 
 TEST(Cli, ReportOnMissingOrMalformedInputFails) {

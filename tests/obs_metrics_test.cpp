@@ -7,6 +7,8 @@
 
 #include "rstp/common/check.h"
 #include "rstp/obs/metrics.h"
+#include "rstp/sim/campaign.h"
+#include "rstp/sim/campaign_bench.h"
 
 namespace rstp {
 namespace {
@@ -170,6 +172,107 @@ TEST(PhaseTimers, EnabledTimersCountCallsPerPhase) {
   }
   EXPECT_EQ(rank_calls, 2u);
   EXPECT_EQ(step_calls, 1u);
+}
+
+std::uint64_t flat_nanos(const std::vector<obs::PhaseTotal>& totals, obs::Phase phase) {
+  for (const obs::PhaseTotal& total : totals) {
+    if (total.phase == phase) return total.nanos;
+  }
+  return 0;
+}
+
+std::uint64_t flat_calls(const std::vector<obs::PhaseTotal>& totals, obs::Phase phase) {
+  for (const obs::PhaseTotal& total : totals) {
+    if (total.phase == phase) return total.calls;
+  }
+  return 0;
+}
+
+TEST(NestedPhaseTimers, ChildTimeLandsOnTheParentEdge) {
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(true);
+  {
+    const obs::ScopedPhaseTimer step{obs::Phase::SimStep};
+    { const obs::ScopedPhaseTimer rank{obs::Phase::CodecRank}; }
+    { const obs::ScopedPhaseTimer rank{obs::Phase::CodecRank}; }
+  }
+  { const obs::ScopedPhaseTimer rank{obs::Phase::CodecRank}; }  // top-level
+  obs::set_phase_timing_enabled(false);
+
+  const auto edges = obs::collect_phase_edge_totals();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].parent, obs::Phase::SimStep);
+  EXPECT_EQ(edges[0].child, obs::Phase::CodecRank);
+  EXPECT_EQ(edges[0].calls, 2u);
+
+  // Flat totals fold the edge time back in: the child's flat count covers
+  // nested and top-level instances alike, exactly as the old flat-only
+  // layout reported them.
+  const auto totals = obs::collect_phase_totals();
+  EXPECT_EQ(flat_calls(totals, obs::Phase::CodecRank), 3u);
+  EXPECT_EQ(flat_calls(totals, obs::Phase::SimStep), 1u);
+  EXPECT_GE(flat_nanos(totals, obs::Phase::CodecRank), edges[0].nanos);
+}
+
+TEST(NestedPhaseTimers, ChildDurationsNeverExceedTheParent) {
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(true);
+  for (int i = 0; i < 50; ++i) {
+    const obs::ScopedPhaseTimer step{obs::Phase::SimStep};
+    { const obs::ScopedPhaseTimer a{obs::Phase::ProtoEnabled}; }
+    { const obs::ScopedPhaseTimer b{obs::Phase::ProtoApply}; }
+    { const obs::ScopedPhaseTimer c{obs::Phase::RecordEvent}; }
+  }
+  obs::set_phase_timing_enabled(false);
+
+  // Child intervals are strict sub-intervals of the parent's (the parent's
+  // clock brackets every child's), so attributed time can never exceed the
+  // parent's flat total.
+  std::uint64_t attributed = 0;
+  for (const obs::PhaseEdgeTotal& edge : obs::collect_phase_edge_totals()) {
+    ASSERT_EQ(edge.parent, obs::Phase::SimStep);
+    EXPECT_EQ(edge.calls, 50u);
+    attributed += edge.nanos;
+  }
+  EXPECT_LE(attributed, flat_nanos(obs::collect_phase_totals(), obs::Phase::SimStep));
+}
+
+TEST(NestedPhaseTimers, DeepNestingAttributesEachLevelToItsDirectParent) {
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(true);
+  {
+    const obs::ScopedPhaseTimer step{obs::Phase::SimStep};
+    const obs::ScopedPhaseTimer apply{obs::Phase::ProtoApply};
+    const obs::ScopedPhaseTimer rank{obs::Phase::CodecRank};
+  }
+  obs::set_phase_timing_enabled(false);
+  const auto edges = obs::collect_phase_edge_totals();
+  ASSERT_EQ(edges.size(), 2u);
+  // (parent, child) enum order: SimStep→ProtoApply before ProtoApply→CodecRank.
+  EXPECT_EQ(edges[0].parent, obs::Phase::SimStep);
+  EXPECT_EQ(edges[0].child, obs::Phase::ProtoApply);
+  EXPECT_EQ(edges[1].parent, obs::Phase::ProtoApply);
+  EXPECT_EQ(edges[1].child, obs::Phase::CodecRank);
+}
+
+TEST(NestedPhaseTimers, TimersOnOrOffLeaveRunMetricsBitwiseIdentical) {
+  // The timers measure wall clock; the simulation's own metrics must not
+  // notice whether they are armed. Run one golden-grid job both ways and
+  // compare the whole job result (RunMetrics included) with ==.
+  const sim::Campaign campaign{sim::golden_campaign_spec()};
+  const sim::CampaignJob job = campaign.job(0);
+  const std::size_t input_bits = campaign.spec().input_bits;
+
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(false);
+  const sim::CampaignJobResult untimed = sim::run_campaign_job(job, input_bits, 1'000'000);
+  obs::set_phase_timing_enabled(true);
+  const sim::CampaignJobResult timed = sim::run_campaign_job(job, input_bits, 1'000'000);
+  obs::set_phase_timing_enabled(false);
+  obs::reset_phase_totals();
+
+  EXPECT_FALSE(untimed.failed) << untimed.error;
+  EXPECT_EQ(untimed, timed);
 }
 
 }  // namespace

@@ -17,7 +17,10 @@
 #include "rstp/core/bounds.h"
 #include "rstp/core/effort.h"
 #include "rstp/core/verify.h"
+#include "rstp/obs/diff.h"
 #include "rstp/protocols/factory.h"
+#include "rstp/sim/campaign.h"
+#include "rstp/sim/campaign_bench.h"
 
 namespace rstp::core {
 namespace {
@@ -206,6 +209,31 @@ TEST(PrefixProperty, HoldsAtEveryIntermediatePoint) {
       }
     }
     EXPECT_EQ(written, cfg.input.size()) << protocols::to_string(kind);
+  }
+}
+
+TEST(Determinism, CampaignMetricsDiffToZeroAcrossSchedulesAndTimers) {
+  // P5 end to end through the diff layer: the same campaign run twice —
+  // different worker counts, and with the wall-clock phase timers armed the
+  // second time — must produce series whose diff is empty. This is the exact
+  // property the golden-baseline gate (rstp report --fail-on) relies on.
+  const sim::Campaign campaign{sim::golden_campaign_spec()};
+  const std::size_t input_bits = campaign.spec().input_bits;
+  const auto first = sim::campaign_metrics_records(campaign.run(1), input_bits);
+
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(true);
+  const auto second = sim::campaign_metrics_records(campaign.run(3), input_bits);
+  obs::set_phase_timing_enabled(false);
+  obs::reset_phase_totals();
+
+  const obs::DiffReport report = obs::diff_metrics(first, second);
+  EXPECT_EQ(report.matched, first.size());
+  EXPECT_TRUE(report.cells.empty());
+  EXPECT_TRUE(report.missing.empty());
+  EXPECT_TRUE(report.extra.empty());
+  for (const obs::QuantityDelta& agg : report.aggregates) {
+    EXPECT_FALSE(agg.changed()) << agg.name;
   }
 }
 

@@ -1,0 +1,228 @@
+// Unit tests for the metrics diff/regression-gate layer (rstp/obs/diff.h):
+// the cell join, exact delta arithmetic (including u64-overflow-adjacent
+// counters and zero-old percentages), the --fail-on threshold grammar, and
+// the exact JSON round trip of a diff report.
+#include "rstp/obs/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rstp::obs {
+namespace {
+
+/// A minimal but fully-formed record: configured histograms (the JSONL
+/// schema requires them) and a recognizable identity.
+RunMetricsRecord make_record(const std::string& protocol, std::uint64_t seed,
+                             std::uint64_t events) {
+  RunMetricsRecord r;
+  r.protocol = protocol;
+  r.c1 = 1;
+  r.c2 = 2;
+  r.d = 6;
+  r.k = 4;
+  r.input_bits = 64;
+  r.seed = seed;
+  r.effort = 2.5;
+  r.end_time = 100;
+  r.correct = true;
+  r.quiescent = true;
+  r.metrics.counters.events = events;
+  r.metrics.data_delay = Histogram(0, 6);
+  r.metrics.ack_delay = Histogram(0, 6);
+  r.metrics.transmitter_gap = Histogram(0, 2);
+  r.metrics.receiver_gap = Histogram(0, 2);
+  r.metrics.data_delay.record(3);
+  r.metrics.data_delay.record(5);
+  return r;
+}
+
+TEST(DiffJoin, IdenticalSeriesProduceNoChanges) {
+  const std::vector<RunMetricsRecord> runs = {make_record("alpha", 1, 10),
+                                              make_record("beta", 2, 20)};
+  const DiffReport report = diff_metrics(runs, runs);
+  EXPECT_EQ(report.old_records, 2u);
+  EXPECT_EQ(report.new_records, 2u);
+  EXPECT_EQ(report.matched, 2u);
+  EXPECT_TRUE(report.cells.empty());
+  EXPECT_TRUE(report.missing.empty());
+  EXPECT_TRUE(report.extra.empty());
+  for (const QuantityDelta& agg : report.aggregates) {
+    EXPECT_FALSE(agg.changed()) << agg.name;
+  }
+}
+
+TEST(DiffJoin, MissingAndExtraCellsAreReportedByKey) {
+  const std::vector<RunMetricsRecord> old_runs = {make_record("alpha", 1, 10),
+                                                  make_record("beta", 2, 20)};
+  const std::vector<RunMetricsRecord> new_runs = {make_record("alpha", 1, 10),
+                                                  make_record("gamma", 3, 30)};
+  const DiffReport report = diff_metrics(old_runs, new_runs);
+  EXPECT_EQ(report.matched, 1u);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0].protocol, "beta");
+  ASSERT_EQ(report.extra.size(), 1u);
+  EXPECT_EQ(report.extra[0].protocol, "gamma");
+  const QuantityDelta* missing = report.find_aggregate("cells_missing");
+  ASSERT_NE(missing, nullptr);
+  EXPECT_EQ(missing->new_u, 1u);
+  const QuantityDelta* extra = report.find_aggregate("cells_extra");
+  ASSERT_NE(extra, nullptr);
+  EXPECT_EQ(extra->new_u, 1u);
+}
+
+TEST(DiffJoin, DuplicateIdentitiesPairByOccurrenceIndex) {
+  // Two records with the same identity join 1:1 in file order; dropping one
+  // repetition shows up as a missing cell (rep 1), not a changed cell.
+  const RunMetricsRecord a = make_record("alpha", 7, 10);
+  const RunMetricsRecord b = make_record("alpha", 7, 99);
+  const DiffReport same = diff_metrics({a, b}, {a, b});
+  EXPECT_EQ(same.matched, 2u);
+  EXPECT_TRUE(same.cells.empty());
+
+  const DiffReport dropped = diff_metrics({a, b}, {a});
+  EXPECT_EQ(dropped.matched, 1u);
+  ASSERT_EQ(dropped.missing.size(), 1u);
+  EXPECT_EQ(dropped.missing[0].rep, 1u);
+  EXPECT_TRUE(dropped.cells.empty());
+}
+
+TEST(DiffDelta, ChangedCellListsOnlyChangedQuantities) {
+  const RunMetricsRecord before = make_record("alpha", 1, 10);
+  RunMetricsRecord after = before;
+  after.metrics.counters.events = 15;
+  const DiffReport report = diff_metrics({before}, {after});
+  ASSERT_EQ(report.cells.size(), 1u);
+  ASSERT_EQ(report.cells[0].deltas.size(), 1u);
+  const QuantityDelta& delta = report.cells[0].deltas[0];
+  EXPECT_EQ(delta.name, "events");
+  EXPECT_TRUE(delta.integral);
+  EXPECT_EQ(delta.old_u, 10u);
+  EXPECT_EQ(delta.new_u, 15u);
+  EXPECT_DOUBLE_EQ(delta.delta(), 5.0);
+  EXPECT_DOUBLE_EQ(delta.pct(), 50.0);
+  const QuantityDelta* changed = report.find_aggregate("cells_changed");
+  ASSERT_NE(changed, nullptr);
+  EXPECT_EQ(changed->new_u, 1u);
+}
+
+TEST(DiffDelta, OverflowAdjacentCountersDiffExactly) {
+  // Counters near 2^64 must never round-trip through a double: the diff is
+  // computed in u64 arithmetic as sign + magnitude.
+  constexpr std::uint64_t kHuge = std::numeric_limits<std::uint64_t>::max();
+  const RunMetricsRecord before = make_record("alpha", 1, kHuge - 1);
+  const RunMetricsRecord after = make_record("alpha", 1, kHuge);
+  const DiffReport up = diff_metrics({before}, {after});
+  ASSERT_EQ(up.cells.size(), 1u);
+  const QuantityDelta& grew = up.cells[0].deltas[0];
+  EXPECT_EQ(grew.old_u, kHuge - 1);
+  EXPECT_EQ(grew.new_u, kHuge);
+  EXPECT_DOUBLE_EQ(grew.delta(), 1.0);  // exact despite 2^64-scale endpoints
+
+  const DiffReport down = diff_metrics({after}, {before});
+  ASSERT_EQ(down.cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(down.cells[0].deltas[0].delta(), -1.0);
+}
+
+TEST(DiffDelta, ZeroOldValueYieldsInfinitePercent) {
+  QuantityDelta delta;
+  delta.name = "events";
+  delta.integral = true;
+  delta.old_u = 0;
+  delta.new_u = 5;
+  delta.old_v = 0;
+  delta.new_v = 5;
+  EXPECT_TRUE(delta.changed());
+  EXPECT_EQ(delta.pct(), HUGE_VAL);
+  delta.new_u = 0;
+  delta.new_v = 0;
+  EXPECT_FALSE(delta.changed());
+  EXPECT_EQ(delta.pct(), 0.0);
+}
+
+TEST(Thresholds, ParseAcceptsTheDocumentedGrammar) {
+  const std::vector<Threshold> parsed =
+      parse_thresholds("effort_mean>1%, delay_p99 >= 5 , events>10");
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].quantity, "effort_mean");
+  EXPECT_FALSE(parsed[0].inclusive);
+  EXPECT_DOUBLE_EQ(parsed[0].limit, 1.0);
+  EXPECT_TRUE(parsed[0].relative);
+  EXPECT_EQ(parsed[1].quantity, "delay_p99");
+  EXPECT_TRUE(parsed[1].inclusive);
+  EXPECT_FALSE(parsed[1].relative);
+  EXPECT_EQ(parsed[2].quantity, "events");  // bare counter → events_total
+}
+
+TEST(Thresholds, ParseErrorsNameTheOffendingToken) {
+  const auto token_of = [](const std::string& spec) {
+    try {
+      (void)parse_thresholds(spec);
+    } catch (const ThresholdParseError& error) {
+      return error.token();
+    }
+    return std::string{"<no error>"};
+  };
+  EXPECT_EQ(token_of("effort_mean"), "effort_mean");        // no comparator
+  EXPECT_EQ(token_of("effort_mean>abc"), "effort_mean>abc");  // bad number
+  EXPECT_EQ(token_of("effort_mean>-1"), "effort_mean>-1");    // negative limit
+  EXPECT_EQ(token_of("a>1,,b>2"), "");                        // empty clause
+}
+
+TEST(Thresholds, UnknownQuantityThrowsAtEvaluation) {
+  const std::vector<RunMetricsRecord> runs = {make_record("alpha", 1, 10)};
+  const DiffReport report = diff_metrics(runs, runs);
+  const std::vector<Threshold> thresholds = parse_thresholds("no_such_quantity>1");
+  EXPECT_THROW((void)evaluate_thresholds(report, thresholds), ThresholdParseError);
+}
+
+TEST(Thresholds, TripOnIncreasesOnlyAndRespectRelativeLimits) {
+  const RunMetricsRecord before = make_record("alpha", 1, 100);
+  RunMetricsRecord regressed = before;
+  regressed.metrics.counters.events = 103;  // +3%
+  const DiffReport worse = diff_metrics({before}, {regressed});
+  EXPECT_EQ(evaluate_thresholds(worse, parse_thresholds("events>1%")).size(), 1u);
+  EXPECT_TRUE(evaluate_thresholds(worse, parse_thresholds("events>5%")).empty());
+  EXPECT_EQ(evaluate_thresholds(worse, parse_thresholds("events>2")).size(), 1u);
+  EXPECT_TRUE(evaluate_thresholds(worse, parse_thresholds("events>3")).empty());
+  EXPECT_EQ(evaluate_thresholds(worse, parse_thresholds("events>=3")).size(), 1u);
+
+  // The same shift downward is an improvement and never trips.
+  const DiffReport better = diff_metrics({regressed}, {before});
+  EXPECT_TRUE(evaluate_thresholds(better, parse_thresholds("events>1%")).empty());
+}
+
+TEST(DiffJson, RoundTripsExactlyThroughTheBundledParser) {
+  const std::vector<RunMetricsRecord> old_runs = {
+      make_record("alpha", 1, std::numeric_limits<std::uint64_t>::max() - 1),
+      make_record("beta", 2, 20)};
+  std::vector<RunMetricsRecord> new_runs = {
+      make_record("alpha", 1, std::numeric_limits<std::uint64_t>::max()),
+      make_record("gamma", 3, 30)};
+  new_runs[0].effort = 3.0000000000000004;  // needs shortest-round-trip digits
+  const DiffReport report = diff_metrics(old_runs, new_runs);
+  ASSERT_FALSE(report.cells.empty());
+
+  std::ostringstream os;
+  write_diff_json(os, report);
+  const DiffReport reread = read_diff_json(os.str());
+  EXPECT_EQ(reread, report);
+
+  // Serializing the reread report reproduces the byte stream too.
+  std::ostringstream os2;
+  write_diff_json(os2, reread);
+  EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(DiffJson, RejectsWrongSchemaTag) {
+  EXPECT_THROW((void)read_diff_json(R"({"schema":"not-a-diff"})"), JsonParseError);
+  EXPECT_THROW((void)read_diff_json("not json at all"), JsonParseError);
+}
+
+}  // namespace
+}  // namespace rstp::obs

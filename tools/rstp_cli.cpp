@@ -27,10 +27,24 @@
 //       perf baseline JSON (schema in docs/PERF.md). Campaign progress lines
 //       go to stderr; --metrics-out appends one JSONL row per job.
 //
+//   rstp campaign [--metrics-out FILE] [--threads N]
+//       Run the fixed golden campaign grid (the regression-gate reference;
+//       bitwise deterministic for any thread count) and append one JSONL row
+//       per job to --metrics-out.
+//
 //   rstp report <metrics.jsonl>
 //       Render a metrics JSONL file (from --metrics-out) as a table.
 //
-// Exit code 0 on success/verified, 1 on failure, 2 on usage errors.
+//   rstp report <old.jsonl> <new.jsonl> [--json] [--fail-on SPEC]
+//       Join two metrics series by run identity and report per-cell and
+//       aggregate deltas. --json emits the machine-readable
+//       rstp-metrics-diff-v1 document instead of the table. --fail-on turns
+//       the diff into a gate: SPEC is a comma-separated list of clauses like
+//       'effort_mean>1%,delay_p99>5%,cells_changed>0' (grammar in
+//       docs/OBSERVABILITY.md); any tripped clause exits 3.
+//
+// Exit code 0 on success/verified, 1 on failure, 2 on usage errors (including
+// malformed diff inputs and threshold specs), 3 on a tripped --fail-on gate.
 #include <charconv>
 #include <cstring>
 #include <fstream>
@@ -46,6 +60,7 @@
 #include "rstp/core/verify.h"
 #include "rstp/ioa/explorer.h"
 #include "rstp/ioa/trace_io.h"
+#include "rstp/obs/diff.h"
 #include "rstp/obs/sinks.h"
 #include "rstp/protocols/factory.h"
 #include "rstp/sim/campaign_bench.h"
@@ -64,7 +79,9 @@ int usage() {
                "  rstp verify  <c1> <c2> <d> <tracefile> <bits>\n"
                "  rstp explore <protocol> <d> <k> <bits>\n"
                "  rstp bench   [--json PATH] [--threads N]... [--metrics-out FILE]\n"
-               "  rstp report  <metrics.jsonl>\n";
+               "  rstp campaign [--metrics-out FILE] [--threads N]\n"
+               "  rstp report  <metrics.jsonl>\n"
+               "  rstp report  <old.jsonl> <new.jsonl> [--json] [--fail-on SPEC]\n";
   return 2;
 }
 
@@ -229,7 +246,9 @@ int cmd_run(int argc, char** argv) {
   }
   if (want_timing) {
     std::cout << "phase timing:\n";
-    obs::print_phase_table(std::cout, obs::collect_phase_totals());
+    const std::vector<obs::PhaseTotal> totals = obs::collect_phase_totals();
+    obs::print_phase_table(std::cout, totals);
+    obs::print_phase_tree(std::cout, totals, obs::collect_phase_edge_totals());
   }
   if (!metrics_file.empty()) {
     obs::RunMetricsRecord record;
@@ -376,24 +395,8 @@ int cmd_bench(int argc, char** argv) {
   const sim::CampaignBenchReport report = sim::run_campaign_bench(options);
   sim::print_campaign_bench(std::cout, report);
   if (!metrics_file.empty()) {
-    std::vector<obs::RunMetricsRecord> records;
-    records.reserve(report.serial_result.jobs.size());
-    const std::size_t input_bits = sim::reference_campaign_spec().input_bits;
-    for (const sim::CampaignJobResult& j : report.serial_result.jobs) {
-      obs::RunMetricsRecord record;
-      record.protocol = protocols::to_string(j.protocol);
-      record.c1 = j.params.c1.ticks();
-      record.c2 = j.params.c2.ticks();
-      record.d = j.params.d.ticks();
-      record.k = j.k;
-      record.input_bits = input_bits;
-      record.seed = j.env_seed;
-      record.effort = j.effort;
-      record.correct = j.output_correct;
-      record.quiescent = j.quiescent;
-      record.metrics = j.metrics;
-      records.push_back(std::move(record));
-    }
+    const std::vector<obs::RunMetricsRecord> records = sim::campaign_metrics_records(
+        report.serial_result, sim::reference_campaign_spec().input_bits);
     if (!append_metrics_jsonl(metrics_file, records)) {
       std::cerr << "cannot open '" << metrics_file << "'\n";
       return 1;
@@ -411,11 +414,127 @@ int cmd_bench(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_campaign(int argc, char** argv) {
+  std::string metrics_file;
+  unsigned threads = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const auto parsed = parse_number<unsigned>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--threads", argv[i]);
+      threads = *parsed;
+    } else {
+      return usage();
+    }
+  }
+  const sim::CampaignSpec spec = sim::golden_campaign_spec();
+  const sim::Campaign campaign{spec};
+  const sim::CampaignResult result = campaign.run(threads);
+  std::cout << "golden grid: " << result.jobs.size() << " jobs, " << result.incorrect
+            << " incorrect, mean effort " << result.effort.mean << " ticks/bit\n";
+  if (!metrics_file.empty()) {
+    if (!append_metrics_jsonl(metrics_file, sim::campaign_metrics_records(result,
+                                                                          spec.input_bits))) {
+      std::cerr << "cannot open '" << metrics_file << "'\n";
+      return 1;
+    }
+    std::cout << "metrics:     appended " << result.jobs.size() << " jobs to " << metrics_file
+              << "\n";
+  }
+  return result.all_correct() ? 0 : 1;
+}
+
+/// The two-file (diff / gate) form of `rstp report`. Malformed inputs and
+/// threshold specs are usage-class errors (exit 2, naming the offending line
+/// or token); a tripped gate is its own outcome (exit 3) so CI can tell
+/// "regressed" from "broken invocation".
+int cmd_report_diff(const std::string& old_path, const std::string& new_path, bool want_json,
+                    const std::string& fail_on) {
+  std::vector<obs::Threshold> thresholds;
+  try {
+    if (!fail_on.empty()) thresholds = obs::parse_thresholds(fail_on);
+  } catch (const obs::ThresholdParseError& e) {
+    std::cerr << "bad --fail-on clause '" << e.token() << "': " << e.what() << "\n";
+    return 2;
+  }
+  const auto read_series = [](const std::string& path,
+                              std::vector<obs::RunMetricsRecord>& out) {
+    std::ifstream in{path};
+    if (!in) {
+      std::cerr << "cannot open '" << path << "'\n";
+      return 1;
+    }
+    try {
+      out = obs::read_run_metrics_jsonl(in);
+    } catch (const obs::JsonParseError& e) {
+      std::cerr << "error in '" << path << "': " << e.what() << "\n";
+      return 2;
+    }
+    return 0;
+  };
+  std::vector<obs::RunMetricsRecord> old_records;
+  std::vector<obs::RunMetricsRecord> new_records;
+  if (const int rc = read_series(old_path, old_records); rc != 0) return rc;
+  if (const int rc = read_series(new_path, new_records); rc != 0) return rc;
+
+  const obs::DiffReport report = obs::diff_metrics(old_records, new_records);
+  if (want_json) {
+    obs::write_diff_json(std::cout, report);
+  } else {
+    obs::print_diff_table(std::cout, report);
+  }
+  if (thresholds.empty()) return 0;
+  std::vector<obs::ThresholdViolation> violations;
+  try {
+    violations = obs::evaluate_thresholds(report, thresholds);
+  } catch (const obs::ThresholdParseError& e) {
+    std::cerr << "bad --fail-on clause '" << e.token() << "': " << e.what() << "\n";
+    return 2;
+  }
+  if (violations.empty()) {
+    std::cerr << "gate: all " << thresholds.size() << " thresholds hold\n";
+    return 0;
+  }
+  for (const obs::ThresholdViolation& v : violations) {
+    std::cerr << "gate: " << v.threshold.source << " tripped: " << v.quantity.name << " "
+              << (v.quantity.integral ? std::to_string(v.quantity.old_u)
+                                      : std::to_string(v.quantity.old_v))
+              << " -> "
+              << (v.quantity.integral ? std::to_string(v.quantity.new_u)
+                                      : std::to_string(v.quantity.new_v))
+              << " (+" << v.observed << (v.threshold.relative ? "%" : "") << ")\n";
+  }
+  return 3;
+}
+
 int cmd_report(int argc, char** argv) {
-  if (argc != 3) return usage();
-  std::ifstream in{argv[2]};
+  std::vector<std::string> files;
+  bool want_json = false;
+  std::string fail_on;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      want_json = true;
+    } else if (arg == "--fail-on" && i + 1 < argc) {
+      fail_on = argv[++i];
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() == 2) {
+    return cmd_report_diff(files[0], files[1], want_json, fail_on);
+  }
+  // The single-file form keeps its original contract: render the table,
+  // exit 1 on unreadable or malformed input (via main's catch-all).
+  if (files.size() != 1 || want_json || !fail_on.empty()) return usage();
+  std::ifstream in{files[0]};
   if (!in) {
-    std::cerr << "cannot open '" << argv[2] << "'\n";
+    std::cerr << "cannot open '" << files[0] << "'\n";
     return 1;
   }
   const std::vector<obs::RunMetricsRecord> records = obs::read_run_metrics_jsonl(in);
@@ -434,6 +553,7 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(argc, argv);
     if (command == "explore") return cmd_explore(argc, argv);
     if (command == "bench") return cmd_bench(argc, argv);
+    if (command == "campaign") return cmd_campaign(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
