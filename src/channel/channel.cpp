@@ -35,16 +35,58 @@ Channel::Channel(Duration max_delay, std::unique_ptr<DeliveryPolicy> policy, Dur
 void Channel::send(const ioa::Packet& packet, Time now) {
   const Time earliest = now + min_delay_;
   const Time deadline = now + max_delay_;
-  const Delivery choice = policy_->choose(packet, now, deadline, send_seq_);
-  if (choice.when < earliest || choice.when > deadline) {
-    std::ostringstream os;
-    os << "delivery policy violated the channel model: packet sent " << now
-       << " scheduled for delivery " << choice.when << " outside [" << earliest << ", "
-       << deadline << "]";
-    throw ModelError(os.str());
+
+  // In-model choices go through the policy and the window check; injected
+  // faults step around both deliberately and are logged instead.
+  const auto choose_in_model = [&](const ioa::Packet& p) {
+    const Delivery choice = policy_->choose(p, now, deadline, send_seq_);
+    if (choice.when < earliest || choice.when > deadline) {
+      std::ostringstream os;
+      os << "delivery policy violated the channel model: packet sent " << now
+         << " scheduled for delivery " << choice.when << " outside [" << earliest << ", "
+         << deadline << "]";
+      throw ModelError(os.str());
+    }
+    return choice;
+  };
+  const auto enqueue = [&](const ioa::Packet& p, const Delivery& choice) {
+    in_flight_.push_back(InFlightPacket{p, now, choice.when, choice.order_key, send_seq_});
+    std::push_heap(in_flight_.begin(), in_flight_.end(), delivers_after);
+  };
+  const auto log_fault = [&](fault::FaultKind kind, const ioa::Packet& injected,
+                             Duration late_by = Duration{0}) {
+    fault_log_.push_back(
+        fault::FaultEvent{kind, send_seq_, now, packet, injected, late_by});
+  };
+
+  if (injector_ == nullptr) {
+    enqueue(packet, choose_in_model(packet));
+    ++send_seq_;
+    return;
   }
-  in_flight_.push_back(InFlightPacket{packet, now, choice.when, choice.order_key, send_seq_});
-  std::push_heap(in_flight_.begin(), in_flight_.end(), delivers_after);
+
+  const fault::FaultDecision decision = injector_->decide(packet, now, deadline, send_seq_);
+  ioa::Packet actual = packet;
+  if (decision.corrupt_payload.has_value()) {
+    actual.payload = *decision.corrupt_payload;
+    log_fault(fault::FaultKind::Corrupt, actual);
+  }
+  if (decision.drop) {
+    log_fault(fault::FaultKind::Drop, actual);
+    ++send_seq_;  // dropped sends still consume a send index
+    return;
+  }
+  if (decision.late_by.ticks() > 0) {
+    RSTP_CHECK(!decision.late_by.is_negative(), "late overshoot must be positive");
+    log_fault(fault::FaultKind::Late, actual, decision.late_by);
+    enqueue(actual, Delivery{deadline + decision.late_by, 0});
+  } else {
+    enqueue(actual, choose_in_model(actual));
+  }
+  for (std::uint32_t copy = 0; copy < decision.duplicates; ++copy) {
+    log_fault(fault::FaultKind::Duplicate, actual);
+    enqueue(actual, choose_in_model(actual));
+  }
   ++send_seq_;
 }
 

@@ -23,10 +23,12 @@ Delivery MaxDelayPolicy::choose(const ioa::Packet& /*packet*/, Time /*sent_at*/,
   return Delivery{deadline, 0};
 }
 
-UniformRandomPolicy::UniformRandomPolicy(Rng rng, Duration lo, Duration hi)
+UniformRandomPolicy::UniformRandomPolicy(Rng rng, Duration lo, Duration hi, Duration max_delay)
     : rng_(rng), lo_(lo), hi_(hi) {
   RSTP_CHECK(!lo_.is_negative(), "random delay lower bound must be non-negative");
-  RSTP_CHECK_LE(lo_.ticks(), hi_.ticks(), "random delay bounds inverted");
+  RSTP_CHECK_LE(lo_.ticks(), hi_.ticks(), "random delay bounds inverted (lo > hi)");
+  RSTP_CHECK_LE(hi_.ticks(), max_delay.ticks(),
+                "random delay upper bound exceeds the channel's d");
 }
 
 Delivery UniformRandomPolicy::choose(const ioa::Packet& /*packet*/, Time sent_at,
@@ -64,8 +66,9 @@ std::unique_ptr<DeliveryPolicy> make_fixed_delay(Duration delay) {
 
 std::unique_ptr<DeliveryPolicy> make_max_delay() { return std::make_unique<MaxDelayPolicy>(); }
 
-std::unique_ptr<DeliveryPolicy> make_uniform_random(std::uint64_t seed, Duration lo, Duration hi) {
-  return std::make_unique<UniformRandomPolicy>(Rng{seed}, lo, hi);
+std::unique_ptr<DeliveryPolicy> make_uniform_random(std::uint64_t seed, Duration lo, Duration hi,
+                                                    Duration max_delay) {
+  return std::make_unique<UniformRandomPolicy>(Rng{seed}, lo, hi, max_delay);
 }
 
 std::unique_ptr<DeliveryPolicy> make_adversarial_batch(Duration window, Duration max_delay,

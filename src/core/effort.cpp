@@ -53,7 +53,7 @@ std::unique_ptr<channel::DeliveryPolicy> make_delivery_policy(Environment::Delay
     case Environment::Delay::Zero:
       return channel::make_zero_delay();
     case Environment::Delay::Random:
-      return channel::make_uniform_random(seed, Duration{0}, params.d);
+      return channel::make_uniform_random(seed, Duration{0}, params.d, params.d);
     case Environment::Delay::Adversarial: {
       // The Lemma 5.1 grouping of δ1 steps: ⌊d/c1⌋·c1 ≤ d is the largest
       // legal batching window aligned to the fastest step rate.

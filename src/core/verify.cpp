@@ -1,5 +1,6 @@
 #include "rstp/core/verify.h"
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <ostream>
@@ -174,6 +175,93 @@ VerifyResult verify_trace(const ioa::TimedTrace& trace, const TimingParams& para
   }
 
   return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const FaultVerifyReport& r) {
+  if (r.ok()) {
+    os << "trace OK under faults (" << r.excused << " excused violation(s))";
+    return os;
+  }
+  os << r.unexcused.size() << " unexcused violation(s) (" << r.excused << " excused):\n";
+  for (const Violation& v : r.unexcused) {
+    os << "  " << v << '\n';
+  }
+  return os;
+}
+
+FaultVerifyReport verify_trace_with_faults(const ioa::TimedTrace& trace,
+                                           const TimingParams& params,
+                                           std::span<const ioa::Bit> input,
+                                           std::span<const fault::FaultEvent> faults,
+                                           const VerifyOptions& options) {
+  FaultVerifyReport report;
+  report.raw = verify_trace(trace, params, input, options);
+  if (report.raw.ok()) return report;
+
+  // A violation is excused by faults of the right kinds occurring at or
+  // before the violating event. Fault times are send instants, so a fault's
+  // downstream consequences (the recv, the wrong write) never precede it.
+  const auto fault_at_or_before = [&](Time when, auto&& kind_matches) {
+    for (const fault::FaultEvent& f : faults) {
+      if (f.at <= when && kind_matches(f.kind)) return true;
+    }
+    return false;
+  };
+  // event_seq -> time of that event, by binary search (the trace appends
+  // with strictly increasing seq). seq 0 marks trace-global violations.
+  const std::vector<TimedEvent>& events = trace.events();
+  const auto time_of_seq = [&](std::uint64_t seq) -> std::optional<Time> {
+    const auto it = std::lower_bound(
+        events.begin(), events.end(), seq,
+        [](const TimedEvent& e, std::uint64_t s) { return e.seq < s; });
+    if (it == events.end() || it->seq != seq) return std::nullopt;
+    return it->time;
+  };
+
+  for (const Violation& v : report.raw.violations) {
+    bool excused = false;
+    switch (v.kind) {
+      case ViolationKind::StepGapTooSmall:
+      case ViolationKind::StepGapTooLarge:
+      case ViolationKind::FirstStepTooLate:
+      case ViolationKind::DeliveryTooEarly:
+        // Scheduler laws and early delivery cannot result from any injected
+        // channel fault.
+        break;
+      case ViolationKind::DeliveryTooLate:
+      case ViolationKind::RecvWithoutSend:
+      case ViolationKind::UndeliveredPacket: {
+        // Bijection-layer violations. Any fault kind can produce any of the
+        // three: the verifier matches recvs greedily against the earliest
+        // outstanding same-payload send, so a single drop (or corrupt, or
+        // duplicate) shifts every later same-payload match — a dropped send
+        // absorbs its retransmission's recv and surfaces as DeliveryTooLate,
+        // the cascade's tail as RecvWithoutSend or UndeliveredPacket.
+        // Attribution finer than "some fault happened first" would require
+        // re-deriving the channel's true bijection, which the fault log does
+        // not (and should not) pin down.
+        const std::optional<Time> when = time_of_seq(v.event_seq);
+        excused = when.has_value() &&
+                  fault_at_or_before(*when, [](fault::FaultKind) { return true; });
+        break;
+      }
+      case ViolationKind::OutputNotPrefix: {
+        const std::optional<Time> when = time_of_seq(v.event_seq);
+        excused = when.has_value() &&
+                  fault_at_or_before(*when, [](fault::FaultKind) { return true; });
+        break;
+      }
+      case ViolationKind::OutputIncomplete:
+        excused = !faults.empty();
+        break;
+    }
+    if (excused) {
+      ++report.excused;
+    } else {
+      report.unexcused.push_back(v);
+    }
+  }
+  return report;
 }
 
 }  // namespace rstp::core

@@ -22,7 +22,7 @@ std::unique_ptr<channel::DeliveryPolicy> make_general_policy(Environment::Delay 
       // "As fast as the model allows": the window's lower edge.
       return channel::make_fixed_delay(params.d_lo);
     case Environment::Delay::Random:
-      return channel::make_uniform_random(seed, params.d_lo, params.d_hi);
+      return channel::make_uniform_random(seed, params.d_lo, params.d_hi, params.d_hi);
     case Environment::Delay::Adversarial: {
       const Duration window = params.t_c1 * params.adversary_delta();
       if (window.ticks() <= 0) {

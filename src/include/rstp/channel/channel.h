@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "rstp/common/time.h"
+#include "rstp/fault/fault.h"
 #include "rstp/ioa/action.h"
 
 namespace rstp::channel {
@@ -88,14 +89,28 @@ class Channel {
   /// Total packets ever accepted (= send events so far).
   [[nodiscard]] std::uint64_t total_sent() const { return send_seq_; }
 
+  /// Attaches a fault injector (non-owning; must outlive the channel). Each
+  /// subsequent send is first offered to the injector: drops never enter the
+  /// queue, corruptions mutate the payload before the policy sees it, late
+  /// decisions bypass the policy and schedule delivery past the deadline, and
+  /// duplicates enqueue extra copies (each placed by the policy). Every
+  /// applied fault lands in fault_log(), in send order. Without an injector
+  /// (the default) behavior is exactly the in-model channel.
+  void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
+
+  /// Faults applied so far, in send order (one entry per duplicate copy).
+  [[nodiscard]] const std::vector<fault::FaultEvent>& fault_log() const { return fault_log_; }
+
  private:
   Duration max_delay_;
   Duration min_delay_;
   std::unique_ptr<DeliveryPolicy> policy_;
+  fault::FaultInjector* injector_ = nullptr;  // non-owning
   // Binary min-heap on (deliver_at, order_key, send_seq): O(log n) send and
   // pop instead of the previous sorted vector's O(n) insert.
   std::vector<InFlightPacket> in_flight_;
   std::vector<InFlightPacket> due_scratch_;  // reused by collect_due
+  std::vector<fault::FaultEvent> fault_log_;
   std::uint64_t send_seq_ = 0;
 };
 

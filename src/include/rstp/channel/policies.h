@@ -46,9 +46,12 @@ class MaxDelayPolicy final : public DeliveryPolicy {
 
 class UniformRandomPolicy final : public DeliveryPolicy {
  public:
-  /// Delay uniform in [lo, hi]; the channel clamps nothing — lo/hi must fit
-  /// inside [0, d] or the channel reports a model violation at run time.
-  UniformRandomPolicy(Rng rng, Duration lo, Duration hi);
+  /// Delay uniform in [lo, hi], which must satisfy 0 ≤ lo ≤ hi ≤ max_delay
+  /// (the channel's d). The bounds are validated here, at construction, with
+  /// a rstp::ContractViolation naming the offending values — a misconfigured
+  /// policy used to surface only as a run-time channel model violation on the
+  /// first unlucky draw.
+  UniformRandomPolicy(Rng rng, Duration lo, Duration hi, Duration max_delay);
   [[nodiscard]] Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
                                 std::uint64_t send_seq) override;
 
@@ -85,7 +88,7 @@ class AdversarialBatchPolicy final : public DeliveryPolicy {
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_fixed_delay(Duration delay);
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_max_delay();
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_uniform_random(std::uint64_t seed, Duration lo,
-                                                                  Duration hi);
+                                                                  Duration hi, Duration max_delay);
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_adversarial_batch(
     Duration window, Duration max_delay,
     AdversarialBatchPolicy::BatchOrder order = AdversarialBatchPolicy::BatchOrder::AscendingPayload);

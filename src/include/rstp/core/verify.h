@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "rstp/core/params.h"
+#include "rstp/fault/fault.h"
 #include "rstp/ioa/trace.h"
 
 namespace rstp::core {
@@ -79,5 +80,42 @@ std::ostream& operator<<(std::ostream& os, const VerifyResult& r);
 [[nodiscard]] VerifyResult verify_trace(const ioa::TimedTrace& trace, const TimingParams& params,
                                         std::span<const ioa::Bit> input,
                                         const VerifyOptions& options = {});
+
+/// Verdict of a run whose channel may have injected faults: the raw verdict
+/// plus a classification of every violation as *excused* (an injected fault
+/// accounts for it) or *unexcused* (a protocol bug even granting the faults).
+struct FaultVerifyReport {
+  VerifyResult raw;                    ///< every violation, fault-blind
+  std::vector<Violation> unexcused;    ///< violations no injected fault explains
+  std::size_t excused = 0;             ///< count of excused violations
+
+  /// "No protocol bug": every violation (if any) traces back to a fault.
+  [[nodiscard]] bool ok() const { return unexcused.empty(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const FaultVerifyReport& r);
+
+/// Runs verify_trace and then excuses exactly the violations the fault log
+/// explains (`faults` must be the channel's log for the same execution, in
+/// send order):
+///
+///   DeliveryTooLate, RecvWithoutSend, UndeliveredPacket
+///                      ← any fault at or before the violating event. The
+///                        verifier's greedy same-payload matching means one
+///                        drop/duplicate/corruption shifts every later match
+///                        of that payload, so each fault kind can surface as
+///                        any of the three.
+///   OutputNotPrefix    ← any fault at or before the write (safety under
+///                        faults: a wrong write is excused only when the
+///                        channel misbehaved first — property P6)
+///   OutputIncomplete   ← any fault at all (liveness is never owed on a
+///                        faulted channel)
+///
+/// Step-gap violations (Σ(A_t, A_r)) and DeliveryTooEarly are never excused:
+/// no channel fault can produce them (sends are appended in trace order, so
+/// matched delays are never negative even under duplication).
+[[nodiscard]] FaultVerifyReport verify_trace_with_faults(
+    const ioa::TimedTrace& trace, const TimingParams& params, std::span<const ioa::Bit> input,
+    std::span<const fault::FaultEvent> faults, const VerifyOptions& options = {});
 
 }  // namespace rstp::core

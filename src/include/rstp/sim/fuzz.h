@@ -1,0 +1,170 @@
+// Coverage-guided schedule fuzzer with deterministic repro artifacts.
+//
+// The property tests *sample* good(A); the fuzzer *hunts* in it (and, with
+// fault injection on, outside it). A FuzzCase is a complete genome for one
+// run — protocol, timing params, every seed, the fault plan — so a case is a
+// pure value: running it twice, on any machine, yields bit-identical traces,
+// verdicts, and coverage. That purity is what makes the three artifacts work:
+//
+//   * coverage — each applied event is fingerprinted (actor, action shape,
+//     protocol counters, output length; never wall-clock or raw time, which
+//     would make every case "new"). A case that reaches a fingerprint no
+//     earlier case reached joins the corpus and becomes mutation fodder.
+//   * determinism across --jobs — evaluation is generational: every round's
+//     batch is fully determined (seed, round, slot, corpus snapshot) before
+//     any parallel work starts, workers write disjoint slots, and the fold
+//     back into corpus/failures is serial in slot order. The thread count
+//     changes wall-clock only.
+//   * repro files — a failure serializes its (minimized) FuzzCase plus the
+//     expected verdict; `rstp replay FILE` re-runs it and compares every
+//     recorded field. See docs/TESTING.md for the format.
+//
+// Verdicts are fault-aware (core::verify_trace_with_faults): a run is a
+// *failure* only on an unexcused violation, or on a protocol exception with
+// a clean fault log (a crash after an injected fault is fail-stop behavior,
+// not a bug — several protocols deliberately RSTP_CHECK model assumptions).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rstp/core/verify.h"
+#include "rstp/fault/fault.h"
+#include "rstp/obs/run_metrics.h"
+#include "rstp/protocols/factory.h"
+
+namespace rstp::sim {
+
+/// A complete, serializable genome for one fuzz run. Every field feeds the
+/// execution; none is advisory — equality of FuzzCases implies bit-equality
+/// of everything run_fuzz_case derives from them.
+struct FuzzCase {
+  protocols::ProtocolKind protocol = protocols::ProtocolKind::Beta;
+  core::TimingParams params = core::TimingParams::make(1, 2, 6);
+  std::uint32_t k = 4;
+  std::uint32_t input_bits = 32;
+  std::uint64_t input_seed = 1;
+  std::uint64_t sched_seed_t = 1;  ///< transmitter SeededRandomScheduler
+  std::uint64_t sched_seed_r = 2;  ///< receiver SeededRandomScheduler
+  std::uint64_t delay_seed = 3;    ///< UniformRandomPolicy over [0, d]
+  /// Mutant knobs (0 = derive from params): forwarded to ProtocolConfig's
+  /// block/wait overrides. wait_override below ⌈d/c1⌉ breaks β's block
+  /// separation — the checked-in golden failure uses exactly that.
+  std::uint32_t block_override = 0;
+  std::uint32_t wait_override = 0;
+  std::uint64_t max_events = 200'000;
+  bool faults_enabled = false;
+  std::uint64_t fault_seed = 0;
+  fault::FaultRates rates{};
+  std::vector<fault::PinnedFault> pins;
+
+  friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
+};
+
+/// Writes/parses the line-oriented `rstp-fuzz-case-v1` form (one `key
+/// values...` line per field, closed by `end`; `#` starts a comment).
+/// parse throws rstp::ModelError on malformed input.
+void write_fuzz_case(std::ostream& os, const FuzzCase& c);
+[[nodiscard]] FuzzCase parse_fuzz_case(std::istream& is);
+
+/// Everything one case execution produced. All fields are deterministic
+/// functions of the FuzzCase.
+struct FuzzCaseResult {
+  bool invalid = false;   ///< genome violates a protocol's config contract; skipped
+  bool crashed = false;   ///< the run threw (protocol RSTP_CHECK, event-cap logic)
+  bool failed = false;    ///< unexcused violation, or a crash with no prior fault
+  std::string failure;    ///< summary of why (empty when !failed && !crashed)
+  std::vector<core::Violation> unexcused;
+  std::size_t excused = 0;
+  std::size_t fault_events = 0;
+  bool quiescent = false;
+  std::uint64_t output_hash = 0;    ///< FNV-1a over Y
+  std::uint64_t coverage_hash = 0;  ///< order-independent fold of fingerprints
+  std::vector<std::uint64_t> fingerprints;  ///< distinct, sorted
+  std::uint64_t event_count = 0;
+  obs::RunMetrics metrics;  ///< empty for invalid/crashed runs
+};
+
+/// Executes one genome: seeded schedulers, uniform-random delays in [0, d],
+/// optional SeededFaultInjector, full trace, fault-aware verification.
+[[nodiscard]] FuzzCaseResult run_fuzz_case(const FuzzCase& c);
+
+struct FuzzSpec {
+  protocols::ProtocolKind protocol = protocols::ProtocolKind::Beta;
+  std::uint32_t k = 4;
+  std::uint64_t seed = 1;
+  /// Total case executions (initial seeds + mutations). The run is
+  /// deterministic given (spec, corpus_seeds) for any `jobs`.
+  std::uint64_t budget = 256;
+  unsigned jobs = 1;  ///< 0 = hardware concurrency
+  std::uint32_t max_input_bits = 48;
+  std::uint64_t max_events = 200'000;
+  bool faults_enabled = false;
+  /// Applied to every generated case (see FuzzCase): the mutant knobs.
+  std::uint32_t block_override = 0;
+  std::uint32_t wait_override = 0;
+  /// Stop folding new generations once a failure is in hand (the budget is
+  /// an upper bound either way).
+  bool stop_on_failure = true;
+  /// Wall-clock cutoff in milliseconds (0 = none). Checked at generation
+  /// boundaries only — using it trades the cross-run determinism guarantee
+  /// for bounded latency; iteration budgets keep it.
+  std::uint64_t time_budget_ms = 0;
+  /// Extra starting cases (e.g. a checked-in corpus). Run before mutations.
+  std::vector<FuzzCase> corpus_seeds;
+};
+
+struct FuzzFailure {
+  FuzzCase original;       ///< as discovered
+  FuzzCase minimized;      ///< after deterministic shrinking (still failing)
+  FuzzCaseResult result;   ///< verdict of `minimized`
+};
+
+struct FuzzResult {
+  std::uint64_t executed = 0;        ///< cases run (excluding minimization reruns)
+  std::size_t coverage = 0;          ///< distinct fingerprints reached
+  std::uint64_t coverage_hash = 0;   ///< order-independent fold of all of them
+  std::vector<FuzzCase> corpus;            ///< cases that first reached new coverage
+  std::vector<FuzzCaseResult> corpus_results;  ///< parallel to `corpus`
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs the campaign. Deterministic for fixed (spec, corpus_seeds) across
+/// runs and `jobs` values, unless time_budget_ms cuts it short.
+[[nodiscard]] FuzzResult run_fuzz(const FuzzSpec& spec);
+
+/// A parsed `rstp-fuzz-repro-v1` file: the genome plus the recorded verdict.
+struct FuzzRepro {
+  FuzzCase fuzz_case;
+  bool failed = false;
+  bool crashed = false;
+  bool quiescent = false;
+  std::size_t unexcused = 0;
+  std::size_t fault_events = 0;
+  std::vector<std::string> kinds;  ///< unexcused ViolationKind names, in order
+  std::uint64_t output_hash = 0;
+  std::uint64_t coverage_hash = 0;
+  std::uint64_t event_count = 0;
+};
+
+/// Serializes case + verdict as a self-contained repro document.
+void write_fuzz_repro(std::ostream& os, const FuzzCase& c, const FuzzCaseResult& result);
+/// Throws rstp::ModelError on malformed input.
+[[nodiscard]] FuzzRepro parse_fuzz_repro(std::istream& is);
+
+/// Re-executes a repro and compares every recorded field bitwise.
+struct ReplayOutcome {
+  FuzzCaseResult result;
+  bool reproduced = false;
+  std::string mismatch;  ///< first differing field, "got vs expected"
+};
+[[nodiscard]] ReplayOutcome replay_fuzz_repro(const FuzzRepro& repro);
+
+/// The verdict fields of `result` as a FuzzRepro (shared by write/replay).
+[[nodiscard]] FuzzRepro make_fuzz_repro(const FuzzCase& c, const FuzzCaseResult& result);
+
+}  // namespace rstp::sim

@@ -67,6 +67,10 @@ struct RunResult {
   std::uint64_t transmitter_sends = 0;
   std::uint64_t receiver_sends = 0;
   std::uint64_t dropped_packets = 0;
+  /// Faults the channel's injector applied (empty without an injector; see
+  /// channel::Channel::set_fault_injector). The fault-aware verifier consumes
+  /// this log to excuse the violations the injected faults explain.
+  std::vector<fault::FaultEvent> faults;
   bool quiescent = false;  ///< true iff the run ended in global quiescence
   /// Always-on structured metrics (O(1) memory, populated even when
   /// record_trace is false): per-direction send/recv/drop counters, protocol

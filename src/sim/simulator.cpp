@@ -266,6 +266,16 @@ RunResult Simulator::run() {
       result.metrics.counters.protocol += source->protocol_counters();
     }
   }
+  // Channel-level injected faults (empty without an injector). Drops count
+  // into the same loss counters as drop_every_nth — both are packets the
+  // automaton sent that never entered flight.
+  result.faults = channel_->fault_log();
+  for (const fault::FaultEvent& f : result.faults) {
+    if (f.kind == fault::FaultKind::Drop) {
+      ++result.dropped_packets;
+      ++result.metrics.counters.dropped;
+    }
+  }
   return result;
 }
 

@@ -79,7 +79,7 @@ TEST(Channel, EqualTimeTieBreaksBySendSeq) {
 }
 
 TEST(Channel, RandomPolicyStaysWithinWindowAndCanReorder) {
-  Channel chan{Duration{20}, make_uniform_random(99, Duration{0}, Duration{20})};
+  Channel chan{Duration{20}, make_uniform_random(99, Duration{0}, Duration{20}, Duration{20})};
   for (std::uint32_t p = 0; p < 50; ++p) {
     chan.send(Packet::to_receiver(p), at_tick(p));
   }
@@ -98,6 +98,24 @@ TEST(Channel, RandomPolicyStaysWithinWindowAndCanReorder) {
 TEST(Channel, ConstructionContracts) {
   EXPECT_THROW(Channel(Duration{-1}, make_zero_delay()), ContractViolation);
   EXPECT_THROW(Channel(Duration{5}, nullptr), ContractViolation);
+}
+
+TEST(UniformRandomPolicy, RejectsInvertedBoundsAtConstruction) {
+  // Regression: lo > hi used to slip through construction and only blow up
+  // (or silently bias) on the first draw. The contract is checked up front.
+  EXPECT_THROW(make_uniform_random(1, Duration{5}, Duration{2}, Duration{10}),
+               ContractViolation);
+}
+
+TEST(UniformRandomPolicy, RejectsUpperBoundBeyondChannelDeadline) {
+  // hi > d would let the policy pick instants the channel must then reject
+  // as ModelErrors; the factory refuses the configuration outright.
+  EXPECT_THROW(make_uniform_random(1, Duration{0}, Duration{11}, Duration{10}),
+               ContractViolation);
+  EXPECT_THROW(make_uniform_random(1, Duration{-1}, Duration{4}, Duration{10}),
+               ContractViolation);
+  // The boundary itself is legal: delays uniform over the full [0, d].
+  EXPECT_NO_THROW(make_uniform_random(1, Duration{0}, Duration{10}, Duration{10}));
 }
 
 TEST(AdversarialBatch, DeliversWholeWindowAtOnceInCanonicalOrder) {
@@ -184,7 +202,8 @@ TEST(Channel, MinDelayValidation) {
 }
 
 TEST(Channel, RandomPolicyWithinShiftedWindow) {
-  Channel chan{Duration{12}, make_uniform_random(3, Duration{4}, Duration{12}), Duration{4}};
+  Channel chan{Duration{12}, make_uniform_random(3, Duration{4}, Duration{12}, Duration{12}),
+               Duration{4}};
   for (std::uint32_t p = 0; p < 40; ++p) {
     chan.send(Packet::to_receiver(p), at_tick(p));
   }

@@ -196,7 +196,8 @@ TEST(EnvironmentCorners, DriftSchedulerEndToEnd) {
     protocols::ProtocolInstance inst = protocols::make_protocol(kind, cfg);
     auto ts = sim::make_drift(cfg.params, 7);
     auto rs = sim::make_drift(cfg.params, 11);
-    channel::Channel chan{cfg.params.d, channel::make_uniform_random(5, Duration{0}, cfg.params.d)};
+    channel::Channel chan{cfg.params.d,
+                          channel::make_uniform_random(5, Duration{0}, cfg.params.d, cfg.params.d)};
     sim::SimConfig sc;
     sc.params = cfg.params;
     sim::Simulator sim{*inst.transmitter, *inst.receiver, chan, *ts, *rs, sc};

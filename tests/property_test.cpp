@@ -9,6 +9,9 @@
 //   P4  Effort: worst-case measurements sit between the Theorem 5.3/5.6
 //       lower bounds and the Lemma 6.1/§6.2 upper bounds.
 //   P5  Determinism: identical seeds give identical executions.
+//   P6  Safety under faults: fault-free fuzzed schedules satisfy P1–P3, and
+//       with fault injection on, the verifier never reports a safety
+//       violation that is not preceded by an injected-fault event.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -21,32 +24,15 @@
 #include "rstp/protocols/factory.h"
 #include "rstp/sim/campaign.h"
 #include "rstp/sim/campaign_bench.h"
+#include "rstp/sim/fuzz.h"
+#include "support/gen.h"
 
 namespace rstp::core {
 namespace {
 
 using protocols::ProtocolKind;
-
-/// Random model parameters with 1 ≤ c1 ≤ c2 ≤ d ≤ 16.
-TimingParams random_params(Rng& rng) {
-  const std::int64_t c1 = rng.next_in(1, 4);
-  const std::int64_t c2 = rng.next_in(c1, 8);
-  const std::int64_t d = rng.next_in(c2, 16);
-  return TimingParams::make(c1, c2, d);
-}
-
-Environment random_environment(Rng& rng) {
-  Environment env;
-  const auto scheds = {Environment::Sched::SlowFixed, Environment::Sched::FastFixed,
-                       Environment::Sched::Random, Environment::Sched::Sawtooth};
-  const auto delays = {Environment::Delay::Max, Environment::Delay::Zero,
-                       Environment::Delay::Random};
-  env.transmitter_sched = *(scheds.begin() + rng.next_below(scheds.size()));
-  env.receiver_sched = *(scheds.begin() + rng.next_below(scheds.size()));
-  env.delay = *(delays.begin() + rng.next_below(delays.size()));
-  env.seed = rng.next_u64();
-  return env;
-}
+using test::random_environment;
+using test::random_params;
 
 class RandomizedRuns : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -234,6 +220,69 @@ TEST(Determinism, CampaignMetricsDiffToZeroAcrossSchedulesAndTimers) {
   EXPECT_TRUE(report.extra.empty());
   for (const obs::QuantityDelta& agg : report.aggregates) {
     EXPECT_FALSE(agg.changed()) << agg.name;
+  }
+}
+
+TEST(SafetyUnderFaults, FaultFreeFuzzedSchedulesSatisfyTheProblem) {
+  // P6, first half: the fuzzer's mutated schedules/timings stay inside
+  // good(A) when no faults are injected, so every correct protocol must
+  // come through with zero failures — and each corpus entry must satisfy
+  // P1–P3 under the plain (fault-blind) verifier.
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    SCOPED_TRACE(protocols::to_string(kind));
+    sim::FuzzSpec spec;
+    spec.protocol = kind;
+    spec.seed = 61;
+    spec.budget = 48;
+    const sim::FuzzResult result = sim::run_fuzz(spec);
+    EXPECT_TRUE(result.ok()) << result.failures.size() << " failures, first: "
+                             << (result.failures.empty() ? ""
+                                                         : result.failures[0].result.failure);
+    ASSERT_EQ(result.corpus.size(), result.corpus_results.size());
+    for (const sim::FuzzCaseResult& r : result.corpus_results) {
+      EXPECT_FALSE(r.crashed) << r.failure;
+      EXPECT_TRUE(r.quiescent);          // P2: terminates
+      EXPECT_TRUE(r.unexcused.empty());  // P1 + P3 (no faults => nothing excused)
+      EXPECT_EQ(r.excused, 0u);
+      EXPECT_EQ(r.fault_events, 0u);
+    }
+  }
+}
+
+TEST(SafetyUnderFaults, NoSafetyViolationWithoutAPrecedingFault) {
+  // P6, second half: drive correct protocols through fault-injecting
+  // channels. Wrong output (OutputNotPrefix) is allowed only when a fault
+  // event precedes the offending write — an unexcused safety violation
+  // would mean the protocol corrupted Y all by itself.
+  Rng rng{4242};
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    for (int i = 0; i < 12; ++i) {
+      sim::FuzzCase c;
+      c.protocol = kind;
+      c.params = test::random_params(rng);
+      c.k = 4;
+      c.input_bits = 16;
+      c.input_seed = rng.next_u64();
+      c.sched_seed_t = rng.next_u64();
+      c.sched_seed_r = rng.next_u64();
+      c.delay_seed = rng.next_u64();
+      c.faults_enabled = true;
+      c.fault_seed = rng.next_u64();
+      c.rates.drop_pm = 60;
+      c.rates.duplicate_pm = 60;
+      c.rates.late_pm = 60;
+      c.rates.corrupt_pm = 60;
+      c.rates.corrupt_space = c.k;
+      c.max_events = 20'000;
+      SCOPED_TRACE(std::string(protocols::to_string(kind)) + " i=" + std::to_string(i));
+      const sim::FuzzCaseResult r = sim::run_fuzz_case(c);
+      ASSERT_FALSE(r.invalid);
+      EXPECT_FALSE(r.failed) << r.failure;
+      for (const Violation& v : r.unexcused) {
+        EXPECT_NE(v.kind, ViolationKind::OutputNotPrefix)
+            << "unexcused safety violation: " << v;
+      }
+    }
   }
 }
 

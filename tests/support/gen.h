@@ -1,0 +1,35 @@
+// Shared randomized-input generators for the test suite. Every generator
+// draws from a caller-seeded Rng so any failure reproduces from its seed —
+// the same discipline the fuzzer (sim/fuzz.h) enforces for whole genomes.
+#pragma once
+
+#include "rstp/common/rng.h"
+#include "rstp/core/effort.h"
+#include "rstp/core/params.h"
+
+namespace rstp::test {
+
+/// Random model parameters with 1 ≤ c1 ≤ c2 ≤ d ≤ 16.
+inline core::TimingParams random_params(Rng& rng) {
+  const std::int64_t c1 = rng.next_in(1, 4);
+  const std::int64_t c2 = rng.next_in(c1, 8);
+  const std::int64_t d = rng.next_in(c2, 16);
+  return core::TimingParams::make(c1, c2, d);
+}
+
+/// Random environment: any scheduler pair, any in-model delay policy, a
+/// fresh seed for the Random variants.
+inline core::Environment random_environment(Rng& rng) {
+  core::Environment env;
+  const auto scheds = {core::Environment::Sched::SlowFixed, core::Environment::Sched::FastFixed,
+                       core::Environment::Sched::Random, core::Environment::Sched::Sawtooth};
+  const auto delays = {core::Environment::Delay::Max, core::Environment::Delay::Zero,
+                       core::Environment::Delay::Random};
+  env.transmitter_sched = *(scheds.begin() + rng.next_below(scheds.size()));
+  env.receiver_sched = *(scheds.begin() + rng.next_below(scheds.size()));
+  env.delay = *(delays.begin() + rng.next_below(delays.size()));
+  env.seed = rng.next_u64();
+  return env;
+}
+
+}  // namespace rstp::test

@@ -43,10 +43,33 @@
 //       'effort_mean>1%,delay_p99>5%,cells_changed>0' (grammar in
 //       docs/OBSERVABILITY.md); any tripped clause exits 3.
 //
+//   rstp fuzz <protocol> [options]
+//       Coverage-guided schedule/fault fuzzing (docs/TESTING.md). The run is
+//       deterministic for a fixed --seed/--budget, for any --jobs value;
+//       failures are minimized and written as replayable repro documents.
+//         --seed N            master seed (default 1)
+//         --budget N          case executions (default 256)
+//         --jobs N            worker threads (default 1; 0 = hardware)
+//         --k K  --bits N     alphabet size / max input bits
+//         --faults            enable the fault injector (drops, duplicates,
+//                             late deliveries, in-alphabet corruption)
+//         --corpus DIR        seed with every *.case file in DIR (sorted)
+//         --repro-out FILE    write the first failure's repro document here
+//         --metrics-out FILE  append one JSONL row per corpus entry
+//         --wait-override W / --block-override B   mutant knobs
+//         --max-events N / --time-budget-ms N / --keep-going
+//
+//   rstp replay <reprofile>
+//       Re-execute a repro document and compare every recorded field.
+//       Exit 0 iff the recorded verdict reproduces bitwise (even a failing
+//       verdict), 1 on any divergence.
+//
 // Exit code 0 on success/verified, 1 on failure, 2 on usage errors (including
 // malformed diff inputs and threshold specs), 3 on a tripped --fail-on gate.
+#include <algorithm>
 #include <charconv>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -64,6 +87,7 @@
 #include "rstp/obs/sinks.h"
 #include "rstp/protocols/factory.h"
 #include "rstp/sim/campaign_bench.h"
+#include "rstp/sim/fuzz.h"
 
 namespace {
 
@@ -81,7 +105,12 @@ int usage() {
                "  rstp bench   [--json PATH] [--threads N]... [--metrics-out FILE]\n"
                "  rstp campaign [--metrics-out FILE] [--threads N]\n"
                "  rstp report  <metrics.jsonl>\n"
-               "  rstp report  <old.jsonl> <new.jsonl> [--json] [--fail-on SPEC]\n";
+               "  rstp report  <old.jsonl> <new.jsonl> [--json] [--fail-on SPEC]\n"
+               "  rstp fuzz    <protocol> [--seed N] [--budget N] [--jobs N] [--k K]"
+               " [--bits N] [--faults] [--corpus DIR] [--repro-out FILE]"
+               " [--metrics-out FILE] [--wait-override W] [--block-override B]"
+               " [--max-events N] [--time-budget-ms N] [--keep-going]\n"
+               "  rstp replay  <reprofile>\n";
   return 2;
 }
 
@@ -542,6 +571,174 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
+/// One JSONL row per fuzz-corpus entry, in the standard run-metrics schema
+/// (so `rstp report` and the diff gate work on fuzz output unchanged).
+[[nodiscard]] obs::RunMetricsRecord fuzz_metrics_record(const sim::FuzzCase& c,
+                                                        const sim::FuzzCaseResult& r) {
+  obs::RunMetricsRecord record;
+  record.protocol = std::string{protocols::to_string(c.protocol)};
+  record.c1 = c.params.c1.ticks();
+  record.c2 = c.params.c2.ticks();
+  record.d = c.params.d.ticks();
+  record.k = c.k;
+  record.input_bits = c.input_bits;
+  record.seed = c.input_seed;
+  record.correct = !r.failed && !r.crashed;
+  record.quiescent = r.quiescent;
+  record.metrics = r.metrics;
+  return record;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto kind = parse_protocol(argv[2]);
+  if (!kind.has_value()) {
+    std::cerr << "unknown protocol '" << argv[2] << "'\n";
+    return 2;
+  }
+  sim::FuzzSpec spec;
+  spec.protocol = *kind;
+  std::string corpus_dir;
+  std::string repro_file;
+  std::string metrics_file;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take_number = [&](auto& slot) {
+      if (i + 1 >= argc) return false;
+      const auto parsed =
+          parse_number<std::remove_reference_t<decltype(slot)>>(argv[++i]);
+      if (!parsed.has_value()) return false;
+      slot = *parsed;
+      return true;
+    };
+    if (arg == "--seed") {
+      if (!take_number(spec.seed)) return bad_number("--seed", argv[i]);
+    } else if (arg == "--budget") {
+      if (!take_number(spec.budget)) return bad_number("--budget", argv[i]);
+    } else if (arg == "--jobs") {
+      if (!take_number(spec.jobs)) return bad_number("--jobs", argv[i]);
+    } else if (arg == "--k") {
+      if (!take_number(spec.k)) return bad_number("--k", argv[i]);
+    } else if (arg == "--bits") {
+      if (!take_number(spec.max_input_bits)) return bad_number("--bits", argv[i]);
+    } else if (arg == "--max-events") {
+      if (!take_number(spec.max_events)) return bad_number("--max-events", argv[i]);
+    } else if (arg == "--time-budget-ms") {
+      if (!take_number(spec.time_budget_ms)) return bad_number("--time-budget-ms", argv[i]);
+    } else if (arg == "--wait-override") {
+      if (!take_number(spec.wait_override)) return bad_number("--wait-override", argv[i]);
+    } else if (arg == "--block-override") {
+      if (!take_number(spec.block_override)) return bad_number("--block-override", argv[i]);
+    } else if (arg == "--faults") {
+      spec.faults_enabled = true;
+    } else if (arg == "--keep-going") {
+      spec.stop_on_failure = false;
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (arg == "--repro-out" && i + 1 < argc) {
+      repro_file = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  if (!corpus_dir.empty()) {
+    std::vector<std::filesystem::path> paths;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator{corpus_dir, ec}) {
+      if (entry.path().extension() == ".case") paths.push_back(entry.path());
+    }
+    if (ec) {
+      std::cerr << "cannot read corpus dir '" << corpus_dir << "': " << ec.message() << "\n";
+      return 2;
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::filesystem::path& path : paths) {
+      std::ifstream in{path};
+      if (!in) {
+        std::cerr << "cannot open '" << path.string() << "'\n";
+        return 2;
+      }
+      sim::FuzzCase seed_case = sim::parse_fuzz_case(in);
+      seed_case.protocol = spec.protocol;  // the corpus seeds schedules, not protocols
+      spec.corpus_seeds.push_back(seed_case);
+    }
+  }
+
+  const sim::FuzzResult result = sim::run_fuzz(spec);
+  std::cout << "protocol:      " << protocols::to_string(spec.protocol) << "\n"
+            << "executed:      " << result.executed << " cases (budget " << spec.budget
+            << ", jobs " << spec.jobs << ")\n"
+            << "coverage:      " << result.coverage << " fingerprints (hash "
+            << result.coverage_hash << ")\n"
+            << "corpus:        " << result.corpus.size() << " cases\n"
+            << "failures:      " << result.failures.size() << "\n";
+
+  if (!metrics_file.empty()) {
+    std::vector<obs::RunMetricsRecord> records;
+    records.reserve(result.corpus.size());
+    for (std::size_t i = 0; i < result.corpus.size(); ++i) {
+      records.push_back(fuzz_metrics_record(result.corpus[i], result.corpus_results[i]));
+    }
+    if (!append_metrics_jsonl(metrics_file, records)) {
+      std::cerr << "cannot open '" << metrics_file << "'\n";
+      return 1;
+    }
+    std::cout << "metrics:       appended " << records.size() << " rows to " << metrics_file
+              << "\n";
+  }
+
+  if (result.ok()) return 0;
+  for (const sim::FuzzFailure& failure : result.failures) {
+    std::cout << "\nfailure: " << failure.result.failure << "\n";
+  }
+  const sim::FuzzFailure& first = result.failures.front();
+  if (!repro_file.empty()) {
+    std::ofstream out{repro_file};
+    if (!out) {
+      std::cerr << "cannot open '" << repro_file << "'\n";
+      return 1;
+    }
+    sim::write_fuzz_repro(out, first.minimized, first.result);
+    std::cout << "repro:         written to " << repro_file << " (rstp replay " << repro_file
+              << ")\n";
+  } else {
+    std::cout << "\n";  // repro inline: pipe to a file and `rstp replay` it
+    sim::write_fuzz_repro(std::cout, first.minimized, first.result);
+  }
+  return 1;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc != 3) return usage();
+  std::ifstream in{argv[2]};
+  if (!in) {
+    std::cerr << "cannot open '" << argv[2] << "'\n";
+    return 1;
+  }
+  const sim::FuzzRepro repro = sim::parse_fuzz_repro(in);
+  const sim::ReplayOutcome outcome = sim::replay_fuzz_repro(repro);
+  std::cout << "case:       " << protocols::to_string(repro.fuzz_case.protocol) << " "
+            << repro.fuzz_case.params << " k=" << repro.fuzz_case.k << " bits="
+            << repro.fuzz_case.input_bits << "\n"
+            << "verdict:    "
+            << (outcome.result.failed ? "FAILED" : outcome.result.crashed ? "crashed (excused)"
+                                                                          : "ok")
+            << "\n";
+  if (!outcome.result.failure.empty()) {
+    std::cout << "detail:     " << outcome.result.failure << "\n";
+  }
+  if (outcome.reproduced) {
+    std::cout << "reproduced: yes (all recorded fields match bitwise)\n";
+    return 0;
+  }
+  std::cout << "reproduced: NO — " << outcome.mismatch << "\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -555,6 +752,8 @@ int main(int argc, char** argv) {
     if (command == "bench") return cmd_bench(argc, argv);
     if (command == "campaign") return cmd_campaign(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
+    if (command == "fuzz") return cmd_fuzz(argc, argv);
+    if (command == "replay") return cmd_replay(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
