@@ -1,0 +1,115 @@
+// Live terminal dashboard for long campaigns and fuzz hunts.
+//
+// The dashboard is a pure *display reader*: simulation code publishes
+// display-only snapshots (sim::CampaignSnapshot, sim::FuzzGenerationSnapshot)
+// through progress hooks, the CLI converts them into a DashboardState, and
+// `render_frame` turns that state into one ANSI frame. Nothing in here can
+// feed back into a result — campaign and fuzz outputs stay bitwise identical
+// with the dashboard on or off (tests/dashboard_test.cpp pins it).
+//
+// Split so every layer is testable without a terminal:
+//   * render_frame(state) -> string   pure; golden-frame snapshot tests
+//   * render_line(state)  -> string   pure; the piped / NO_COLOR fallback,
+//                                     guaranteed free of escape bytes
+//   * Dashboard                       the only stateful part: erases the
+//                                     previous frame with cursor movement
+//                                     codes and writes the next one
+//   * stream_supports_dashboard      the TTY / NO_COLOR / TERM=dumb gate
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rstp::obs {
+
+/// One per-protocol row of a campaign dashboard.
+struct DashboardProtocolRow {
+  std::string name;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  std::uint64_t events = 0;
+  /// Rolling mean effort over this protocol's finished jobs that sent at
+  /// least once; 0 while no such job has finished.
+  double effort_mean = 0;
+  std::uint64_t effort_jobs = 0;
+};
+
+/// Everything one frame renders. A pure value: equal states render equal
+/// frames, which is what makes golden-frame tests possible.
+struct DashboardState {
+  enum class Mode { Campaign, Fuzz };
+  Mode mode = Mode::Campaign;
+  /// Emit ANSI color/bold sequences. Frames still use cursor movement when
+  /// drawn through Dashboard; with color=false render_frame itself contains
+  /// no escape bytes at all.
+  bool color = true;
+  /// Header label ("campaign", "fuzz beta"); the mode name when empty.
+  std::string label;
+  double elapsed_seconds = 0;
+  std::uint64_t done = 0;   ///< jobs (campaign) or executed cases (fuzz)
+  std::uint64_t total = 0;  ///< grid size (campaign) or budget (fuzz)
+
+  // Campaign-mode fields.
+  std::uint64_t events = 0;
+  double effort_mean = 0;  ///< rolling mean over jobs that sent; see rows
+  std::uint64_t effort_jobs = 0;
+  std::vector<DashboardProtocolRow> protocols;
+  /// Display-only data-delay distribution: bucket i counts deliveries with
+  /// delay i ticks, last bucket clamps. Feeds the rolling p50/p95/p99.
+  std::vector<std::uint64_t> delay_buckets;
+  std::uint64_t delay_count = 0;
+
+  // Fuzz-mode fields.
+  std::uint64_t generation = 0;
+  std::uint64_t corpus = 0;
+  std::uint64_t coverage = 0;       ///< distinct fingerprints so far
+  std::uint64_t coverage_gain = 0;  ///< new fingerprints in the last generation
+  std::uint64_t crashes = 0;
+  std::uint64_t failures = 0;
+};
+
+/// Nearest-rank percentile over clamped 1-tick display buckets (the value of
+/// bucket i is i); 0 when count == 0. p in [0, 100].
+[[nodiscard]] std::int64_t delay_percentile(const std::vector<std::uint64_t>& buckets,
+                                            std::uint64_t count, double p);
+
+/// Renders one multi-line frame (every line '\n'-terminated). Pure: no
+/// cursor movement, no clock, no global state — only SGR color codes, and
+/// none at all when state.color is false.
+[[nodiscard]] std::string render_frame(const DashboardState& state);
+
+/// The one-line fallback for piped output: same numbers, no escape bytes
+/// ever. Campaign mode mirrors the historical monitor line shape; fuzz mode
+/// is one line per generation.
+[[nodiscard]] std::string render_line(const DashboardState& state);
+
+/// True when `stream` should get live ANSI frames: it is a terminal
+/// (isatty), NO_COLOR is unset, and TERM is neither empty nor "dumb".
+[[nodiscard]] bool stream_supports_dashboard(std::FILE* stream);
+
+/// The stateful redraw wrapper: remembers how many lines the previous frame
+/// used and rewinds the cursor over them before writing the next frame, so
+/// the dashboard repaints in place. close() restores the cursor; it is safe
+/// to call with no frame drawn (then it writes nothing).
+class Dashboard {
+ public:
+  explicit Dashboard(std::ostream& os) : os_(&os) {}
+
+  /// Erases the previous frame (if any) and writes render_frame(state).
+  void draw(const DashboardState& state);
+
+  /// Leaves the last frame on screen and re-shows the cursor.
+  void close();
+
+  [[nodiscard]] std::size_t last_frame_lines() const { return last_lines_; }
+
+ private:
+  std::ostream* os_;
+  std::size_t last_lines_ = 0;
+  bool cursor_hidden_ = false;
+};
+
+}  // namespace rstp::obs

@@ -70,7 +70,11 @@ struct QuantityDelta {
   /// Exact for integral deltas below 2^53; the sign is always exact.
   [[nodiscard]] double delta() const;
   /// Relative change vs old, in percent; +/-HUGE_VAL when old == 0 and new
-  /// differs, 0 when both are 0.
+  /// differs, 0 when both are 0. The +HUGE_VAL convention keeps relative
+  /// gates loud on a zero baseline: any regression from 0 exceeds every
+  /// finite limit (and non-finite limits are rejected at parse time). A NaN
+  /// input propagates to a NaN result, which evaluate_thresholds treats as a
+  /// violation rather than letting NaN comparisons pass it silently.
   [[nodiscard]] double pct() const;
 
   friend bool operator==(const QuantityDelta&, const QuantityDelta&) = default;

@@ -1,0 +1,198 @@
+#include "rstp/obs/dashboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace rstp::obs {
+
+namespace {
+
+constexpr std::string_view kReset = "\x1b[0m";
+constexpr std::string_view kBold = "\x1b[1m";
+constexpr std::string_view kGreen = "\x1b[32m";
+constexpr std::string_view kRed = "\x1b[31m";
+
+constexpr std::size_t kBarWidth = 24;
+
+[[nodiscard]] std::string fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+[[nodiscard]] double fraction_done(std::uint64_t done, std::uint64_t total) {
+  if (total == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(done) / static_cast<double>(total));
+}
+
+/// `[####........]` with the fill colored when `color` is set. An empty grid
+/// (total == 0) renders full: there is nothing left to do.
+[[nodiscard]] std::string bar(std::uint64_t done, std::uint64_t total, bool color) {
+  const double f = fraction_done(done, total);
+  const auto filled =
+      std::min(kBarWidth, static_cast<std::size_t>(f * static_cast<double>(kBarWidth) + 1e-9));
+  std::string out = "[";
+  if (color && filled > 0) out += kGreen;
+  out.append(filled, '#');
+  if (color && filled > 0) out += kReset;
+  out.append(kBarWidth - filled, '.');
+  out += ']';
+  return out;
+}
+
+[[nodiscard]] double rate_per_second(std::uint64_t done, double elapsed_seconds) {
+  if (elapsed_seconds <= 0) return 0;
+  return static_cast<double>(done) / elapsed_seconds;
+}
+
+/// Remaining seconds extrapolated from the average rate so far; negative
+/// when it cannot be estimated yet (nothing done, or already finished).
+[[nodiscard]] double eta_seconds(std::uint64_t done, std::uint64_t total,
+                                 double elapsed_seconds) {
+  if (done == 0 || done >= total || elapsed_seconds <= 0) return -1;
+  const auto d = static_cast<double>(done);
+  return elapsed_seconds * (static_cast<double>(total) - d) / d;
+}
+
+[[nodiscard]] std::string_view header_label(const DashboardState& s) {
+  if (!s.label.empty()) return s.label;
+  return s.mode == DashboardState::Mode::Campaign ? "campaign" : "fuzz";
+}
+
+void append_header(std::ostringstream& os, const DashboardState& s, std::string_view unit) {
+  if (s.color) os << kBold;
+  os << header_label(s);
+  if (s.color) os << kReset;
+  os << "  " << bar(s.done, s.total, s.color) << "  " << s.done << '/' << s.total << ' '
+     << unit << " (" << fixed(100.0 * fraction_done(s.done, s.total), 1) << "%)  elapsed "
+     << fixed(s.elapsed_seconds, 1) << 's';
+  const double eta = eta_seconds(s.done, s.total, s.elapsed_seconds);
+  if (eta >= 0) os << "  eta " << fixed(eta, 1) << 's';
+  os << '\n';
+}
+
+void append_campaign_body(std::ostringstream& os, const DashboardState& s) {
+  os << "  " << fixed(rate_per_second(s.done, s.elapsed_seconds), 1) << " jobs/s  |  "
+     << s.events << " events  |  effort mean "
+     << (s.effort_jobs > 0 ? fixed(s.effort_mean, 2) : "-") << "  |  delay p50/p95/p99 "
+     << delay_percentile(s.delay_buckets, s.delay_count, 50) << '/'
+     << delay_percentile(s.delay_buckets, s.delay_count, 95) << '/'
+     << delay_percentile(s.delay_buckets, s.delay_count, 99) << " ticks\n";
+  std::size_t name_width = 0;
+  for (const DashboardProtocolRow& row : s.protocols) {
+    name_width = std::max(name_width, row.name.size());
+  }
+  for (const DashboardProtocolRow& row : s.protocols) {
+    os << "  " << row.name << std::string(name_width - row.name.size(), ' ') << "  "
+       << bar(row.done, row.total, s.color) << "  " << row.done << '/' << row.total
+       << "  effort " << (row.effort_jobs > 0 ? fixed(row.effort_mean, 2) : "-")
+       << "  events " << row.events << '\n';
+  }
+}
+
+void append_fuzz_body(std::ostringstream& os, const DashboardState& s) {
+  os << "  gen " << s.generation << "  |  "
+     << fixed(rate_per_second(s.done, s.elapsed_seconds), 1) << " cases/s  |  corpus "
+     << s.corpus << "  |  coverage " << s.coverage << " (+" << s.coverage_gain
+     << ")  |  crashes " << s.crashes << "  |  ";
+  const bool alarm = s.color && s.failures > 0;
+  if (alarm) os << kRed;
+  os << "failures " << s.failures;
+  if (alarm) os << kReset;
+  os << '\n';
+}
+
+}  // namespace
+
+std::int64_t delay_percentile(const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+                              double p) {
+  if (count == 0 || buckets.empty()) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  rank = std::max<std::uint64_t>(1, std::min(rank, count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return static_cast<std::int64_t>(i);
+  }
+  return static_cast<std::int64_t>(buckets.size() - 1);
+}
+
+std::string render_frame(const DashboardState& state) {
+  std::ostringstream os;
+  if (state.mode == DashboardState::Mode::Campaign) {
+    append_header(os, state, "jobs");
+    append_campaign_body(os, state);
+  } else {
+    append_header(os, state, "cases");
+    append_fuzz_body(os, state);
+  }
+  return os.str();
+}
+
+std::string render_line(const DashboardState& state) {
+  std::ostringstream os;
+  if (state.mode == DashboardState::Mode::Campaign) {
+    os << "campaign: " << state.done << '/' << state.total << " jobs ("
+       << fixed(100.0 * fraction_done(state.done, state.total), 1) << "%), " << state.events
+       << " events";
+    if (state.effort_jobs > 0) os << ", mean effort " << fixed(state.effort_mean, 2);
+    const double eta = eta_seconds(state.done, state.total, state.elapsed_seconds);
+    if (eta >= 0) os << ", eta " << fixed(eta, 1) << 's';
+  } else {
+    os << "fuzz: gen " << state.generation << ", " << state.done << '/' << state.total
+       << " cases, corpus " << state.corpus << ", coverage " << state.coverage << " (+"
+       << state.coverage_gain << "), crashes " << state.crashes << ", failures "
+       << state.failures;
+  }
+  return os.str();
+}
+
+bool stream_supports_dashboard(std::FILE* stream) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (stream == nullptr || ::isatty(fileno(stream)) == 0) return false;
+  if (std::getenv("NO_COLOR") != nullptr) return false;
+  const char* term = std::getenv("TERM");
+  if (term == nullptr || term[0] == '\0' || std::string_view{term} == "dumb") return false;
+  return true;
+#else
+  (void)stream;
+  return false;
+#endif
+}
+
+void Dashboard::draw(const DashboardState& state) {
+  const std::string frame = render_frame(state);
+  std::ostream& os = *os_;
+  if (!cursor_hidden_) {
+    os << "\x1b[?25l";
+    cursor_hidden_ = true;
+  }
+  if (last_lines_ > 0) {
+    // Rewind over the previous frame and erase to the end of the screen, so
+    // a shrinking frame leaves no stale tail behind.
+    os << "\x1b[" << last_lines_ << "A\r\x1b[0J";
+  }
+  os << frame << std::flush;
+  last_lines_ = static_cast<std::size_t>(std::count(frame.begin(), frame.end(), '\n'));
+}
+
+void Dashboard::close() {
+  if (cursor_hidden_) {
+    *os_ << "\x1b[?25h" << std::flush;
+    cursor_hidden_ = false;
+  }
+  last_lines_ = 0;
+}
+
+}  // namespace rstp::obs

@@ -403,6 +403,11 @@ std::vector<Threshold> parse_thresholds(std::string_view spec) {
     if (ec != std::errc{} || ptr != rest.data() + rest.size() || rest.empty()) {
       throw ThresholdParseError("threshold limit is not a number", clause_text);
     }
+    if (!std::isfinite(t.limit)) {
+      // from_chars happily parses "nan"/"inf", and every comparison against
+      // NaN is false — a 'name>nan' gate would silently pass everything.
+      throw ThresholdParseError("threshold limit must be finite", clause_text);
+    }
     if (t.limit < 0) {
       throw ThresholdParseError("threshold limit must be non-negative", clause_text);
     }
@@ -420,6 +425,13 @@ std::vector<ThresholdViolation> evaluate_thresholds(const DiffReport& report,
       throw ThresholdParseError("unknown gate quantity", t.quantity);
     }
     const double observed = t.relative ? q->pct() : q->delta();
+    if (std::isnan(observed)) {
+      // A NaN measurement (e.g. a NaN value leaking into a record) compares
+      // false against everything; without this it would pass every gate. A
+      // gate that cannot certify its quantity must fail loud.
+      out.push_back(ThresholdViolation{t, *q, observed});
+      continue;
+    }
     if (observed <= 0) continue;  // improvements and no-ops never trip
     const bool tripped = t.inclusive ? observed >= t.limit : observed > t.limit;
     if (tripped) out.push_back(ThresholdViolation{t, *q, observed});

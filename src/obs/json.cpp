@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <sstream>
 
 namespace rstp::obs {
@@ -176,20 +177,44 @@ class Parser {
           out.push_back('\t');
           break;
         case 'u': {
-          if (pos_ + 4 > input_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          const auto [ptr, ec] =
-              std::from_chars(input_.data() + pos_, input_.data() + pos_ + 4, code, 16);
-          if (ec != std::errc{} || ptr != input_.data() + pos_ + 4) fail("bad \\u escape");
-          pos_ += 4;
-          // The sinks only emit ASCII; decode BMP code points as UTF-8.
+          const auto hex4 = [&]() -> std::uint32_t {
+            if (pos_ + 4 > input_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            const auto [ptr, ec] =
+                std::from_chars(input_.data() + pos_, input_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc{} || ptr != input_.data() + pos_ + 4) fail("bad \\u escape");
+            pos_ += 4;
+            return code;
+          };
+          std::uint32_t code = hex4();
+          // UTF-16 escapes: D800-DBFF/DC00-DFFF must come as a pair and
+          // combine into one supplementary code point. Emitting a raw
+          // surrogate as a 3-byte sequence would be invalid UTF-8.
+          if (code >= 0xDC00 && code <= 0xDFFF) fail("lone low surrogate in \\u escape");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > input_.size() || input_[pos_] != '\\' || input_[pos_ + 1] != 'u') {
+              fail("high surrogate must be followed by a \\u low surrogate");
+            }
+            pos_ += 2;
+            const std::uint32_t low = hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate must be followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          // The sinks only emit ASCII; decode the code point as UTF-8.
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

@@ -121,6 +121,13 @@ CampaignJobResult run_campaign_job(const CampaignJob& job, std::size_t input_bit
 CampaignResult Campaign::run(unsigned threads) const { return run(threads, CampaignProgress{}); }
 
 CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress) const {
+  if (progress.active()) {
+    // A zero interval would make the monitor's wait_for return immediately
+    // forever — a busy-spinning thread. Same construction-time validation
+    // pattern as the delay-policy bounds checks.
+    RSTP_CHECK_GT(progress.interval.count(), std::chrono::milliseconds::rep{0},
+                  "campaign progress interval must be positive");
+  }
   const std::size_t jobs = job_count();
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -138,6 +145,47 @@ CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress)
   std::atomic<double> live_effort_sum{0.0};
   std::atomic<std::size_t> effort_jobs_done{0};
   const MetricsRegistryIds registry_ids;
+
+  // Structured-snapshot state, maintained only while someone is watching.
+  // Grid order is protocol-major, so job i belongs to protocol
+  // i / jobs_per_protocol; the delay distribution refolds each job's
+  // per-cell histogram into one fixed clamped-tick layout (display-only —
+  // exact per-cell histograms stay in result.jobs[i].metrics).
+  const bool snapshots = progress.on_snapshot != nullptr;
+  const std::size_t proto_count = spec_.protocols.size();
+  const std::size_t jobs_per_protocol = proto_count == 0 ? 0 : jobs / proto_count;
+  std::vector<std::atomic<std::uint64_t>> proto_done(snapshots ? proto_count : 0);
+  std::vector<std::atomic<std::uint64_t>> proto_events(snapshots ? proto_count : 0);
+  std::vector<std::atomic<double>> proto_effort_sum(snapshots ? proto_count : 0);
+  std::vector<std::atomic<std::uint64_t>> proto_effort_jobs(snapshots ? proto_count : 0);
+  std::vector<std::atomic<std::uint64_t>> delay_buckets(
+      snapshots ? CampaignSnapshot::kDelayBuckets : 0);
+  std::atomic<std::uint64_t> delay_count{0};
+  const auto fold_snapshot_state = [&](std::size_t i, const CampaignJobResult& slot) {
+    const std::size_t p =
+        jobs_per_protocol == 0 ? 0 : std::min(i / jobs_per_protocol, proto_count - 1);
+    proto_done[p].fetch_add(1, std::memory_order_relaxed);
+    proto_events[p].fetch_add(slot.event_count, std::memory_order_relaxed);
+    if (slot.effort > 0) {
+      proto_effort_sum[p].fetch_add(slot.effort, std::memory_order_relaxed);
+      proto_effort_jobs[p].fetch_add(1, std::memory_order_relaxed);
+    }
+    const obs::Histogram& h = slot.metrics.data_delay;
+    if (h.configured() && h.count() > 0) {
+      for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+        const std::uint64_t n = h.bucket(b);
+        if (n == 0) continue;
+        const std::int64_t tick =
+            h.lower_bound() + static_cast<std::int64_t>(b) * h.bucket_width();
+        const std::size_t bucket =
+            tick <= 0 ? 0
+                      : std::min<std::size_t>(CampaignSnapshot::kDelayBuckets - 1,
+                                              static_cast<std::size_t>(tick));
+        delay_buckets[bucket].fetch_add(n, std::memory_order_relaxed);
+      }
+      delay_count.fetch_add(h.count(), std::memory_order_relaxed);
+    }
+  };
 
   // Work stealing over the job list: each worker atomically claims the next
   // unclaimed index and writes only its own slot, so the merged vector is in
@@ -158,6 +206,7 @@ CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress)
           live_effort_sum.fetch_add(slot.effort, std::memory_order_relaxed);
           effort_jobs_done.fetch_add(1, std::memory_order_relaxed);
         }
+        if (snapshots) fold_snapshot_state(i, slot);
         done.fetch_add(1, std::memory_order_relaxed);
         obs::global_registry().add(registry_ids.jobs);
         obs::global_registry().add(registry_ids.events, slot.event_count);
@@ -193,6 +242,38 @@ CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress)
     }
     os << '\n' << std::flush;
   };
+  const auto build_snapshot = [&](bool final_snapshot) {
+    CampaignSnapshot snap;
+    snap.jobs_total = jobs;
+    snap.jobs_done = done.load(std::memory_order_relaxed);
+    snap.events = events_done.load(std::memory_order_relaxed);
+    snap.effort_sum = live_effort_sum.load(std::memory_order_relaxed);
+    snap.effort_jobs = effort_jobs_done.load(std::memory_order_relaxed);
+    snap.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    snap.final_snapshot = final_snapshot;
+    snap.protocols.reserve(proto_count);
+    for (std::size_t p = 0; p < proto_count; ++p) {
+      CampaignProtocolSnapshot ps;
+      ps.protocol = spec_.protocols[p];
+      ps.total = jobs_per_protocol;
+      ps.done = proto_done[p].load(std::memory_order_relaxed);
+      ps.events = proto_events[p].load(std::memory_order_relaxed);
+      ps.effort_sum = proto_effort_sum[p].load(std::memory_order_relaxed);
+      ps.effort_jobs = proto_effort_jobs[p].load(std::memory_order_relaxed);
+      snap.protocols.push_back(ps);
+    }
+    snap.delay_buckets.resize(CampaignSnapshot::kDelayBuckets);
+    for (std::size_t b = 0; b < CampaignSnapshot::kDelayBuckets; ++b) {
+      snap.delay_buckets[b] = delay_buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.delay_count = delay_count.load(std::memory_order_relaxed);
+    return snap;
+  };
+  const auto report = [&]() {
+    if (progress.out != nullptr) print_progress(*progress.out);
+    if (snapshots) progress.on_snapshot(build_snapshot(/*final_snapshot=*/false));
+  };
 
   // The monitor thread exists only while a sink is attached; the common
   // silent path pays nothing beyond the workers' relaxed counter updates.
@@ -200,12 +281,12 @@ CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress)
   std::mutex monitor_mutex;
   std::condition_variable monitor_cv;
   std::thread monitor;
-  if (progress.out != nullptr) {
+  if (progress.active()) {
     monitor = std::thread([&]() {
       std::unique_lock lock{monitor_mutex};
       while (!monitor_cv.wait_for(lock, progress.interval,
                                   [&]() { return finished.load(std::memory_order_relaxed); })) {
-        print_progress(*progress.out);
+        report();
       }
     });
   }
@@ -227,8 +308,10 @@ CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress)
     }
     monitor_cv.notify_all();
     monitor.join();
-    // Always close with a complete line so short campaigns still report.
-    print_progress(*progress.out);
+    // Always close with a complete report so short campaigns still show up;
+    // after the join the snapshot counts are exact.
+    if (progress.out != nullptr) print_progress(*progress.out);
+    if (snapshots) progress.on_snapshot(build_snapshot(/*final_snapshot=*/true));
   }
   if (first_error) std::rethrow_exception(first_error);
 

@@ -417,6 +417,27 @@ FuzzResult run_fuzz(const FuzzSpec& spec) {
            static_cast<std::int64_t>(spec.time_budget_ms);
   };
 
+  // Display-only hunt progress. Published from the serial fold points, so
+  // attaching on_generation cannot perturb the deterministic result state.
+  std::uint64_t generation = 0;
+  std::size_t crashes = 0;
+  const auto emit_snapshot = [&](std::size_t coverage_gain, bool final_snapshot) {
+    if (!spec.on_generation) return;
+    FuzzGenerationSnapshot snap;
+    snap.generation = generation;
+    snap.executed = res.executed;
+    snap.budget = spec.budget;
+    snap.corpus = res.corpus.size();
+    snap.coverage = seen.size();
+    snap.coverage_gain = coverage_gain;
+    snap.crashes = crashes;
+    snap.failures = res.failures.size();
+    snap.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    snap.final_snapshot = final_snapshot;
+    spec.on_generation(snap);
+  };
+
   while (!round.empty()) {
     std::vector<FuzzCaseResult> results(round.size());
     parallel_for_slots(round.size(), spec.jobs,
@@ -424,10 +445,12 @@ FuzzResult run_fuzz(const FuzzSpec& spec) {
 
     // Serial fold in slot order: corpus growth, coverage, and failure
     // collection are independent of how workers interleaved.
+    const std::size_t coverage_before = seen.size();
     for (std::size_t i = 0; i < round.size(); ++i) {
       ++res.executed;
       const FuzzCaseResult& r = results[i];
       if (r.invalid) continue;
+      if (r.crashed) ++crashes;
       bool fresh = false;
       for (const std::uint64_t fp : r.fingerprints) {
         if (seen.insert(fp).second) fresh = true;
@@ -441,6 +464,8 @@ FuzzResult run_fuzz(const FuzzSpec& spec) {
         res.corpus_results.push_back(r);
       }
     }
+    emit_snapshot(seen.size() - coverage_before, /*final_snapshot=*/false);
+    ++generation;
 
     if (!res.failures.empty() && spec.stop_on_failure) break;
     if (planned >= spec.budget) break;
@@ -473,6 +498,7 @@ FuzzResult run_fuzz(const FuzzSpec& spec) {
     failure.minimized = minimize_failure(failure.original);
     failure.result = run_fuzz_case(failure.minimized);
   }
+  emit_snapshot(0, /*final_snapshot=*/true);
   return res;
 }
 

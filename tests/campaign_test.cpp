@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
+#include <sstream>
 
 #include "rstp/common/check.h"
 #include "rstp/sim/campaign_bench.h"
@@ -94,6 +96,24 @@ TEST(Campaign, ThreadCountZeroMeansHardwareConcurrency) {
   const CampaignResult serial = campaign.run(1);
   const CampaignResult automatic = campaign.run(0);
   EXPECT_TRUE(serial == automatic);
+}
+
+TEST(Campaign, ZeroProgressIntervalIsRejected) {
+  // interval == 0 used to make the monitor thread busy-spin through
+  // wait_for timeouts; it is now a contract violation whenever any
+  // progress sink (stream or snapshot hook) is attached.
+  const Campaign campaign{small_spec()};
+  std::ostringstream sink;
+  CampaignProgress progress;
+  progress.out = &sink;
+  progress.interval = std::chrono::milliseconds{0};
+  EXPECT_THROW((void)campaign.run(1, progress), ContractViolation);
+  progress.out = nullptr;
+  progress.on_snapshot = [](const CampaignSnapshot&) {};
+  EXPECT_THROW((void)campaign.run(1, progress), ContractViolation);
+  // With no sink at all the interval is irrelevant and must not throw.
+  progress.on_snapshot = nullptr;
+  EXPECT_TRUE(campaign.run(1) == campaign.run(1, progress));
 }
 
 TEST(Campaign, SingleJobRerunMatchesTheCampaignRow) {

@@ -264,6 +264,40 @@ TEST(Cli, CampaignRunsTheGoldenGrid) {
   std::remove(jsonl.c_str());
 }
 
+TEST(Cli, DashboardDegradesToPlainLinesWhenPiped) {
+  // run_command pipes stdout into a file, so the TTY probe fails and
+  // --dashboard must fall back to one-line progress with zero ANSI bytes.
+  std::string out;
+  EXPECT_EQ(run_command("campaign --dashboard --threads 2", &out), 0);
+  EXPECT_EQ(out.find('\x1b'), std::string::npos) << out;
+  EXPECT_NE(out.find("golden grid: 32 jobs, 0 incorrect"), std::string::npos) << out;
+  EXPECT_NE(out.find("campaign: 32/32 jobs (100.0%)"), std::string::npos) << out;
+
+  EXPECT_EQ(run_command("fuzz beta --seed 1 --budget 64 --jobs 2 --dashboard", &out), 0);
+  EXPECT_EQ(out.find('\x1b'), std::string::npos) << out;
+  EXPECT_NE(out.find("fuzz: gen "), std::string::npos) << out;
+  // --no-dashboard wins over --dashboard and silences the per-generation feed.
+  EXPECT_EQ(run_command("fuzz beta --seed 1 --budget 64 --jobs 2 --dashboard --no-dashboard",
+                        &out),
+            0);
+  EXPECT_EQ(out.find("fuzz: gen "), std::string::npos) << out;
+}
+
+TEST(Cli, ReportRejectsNonFiniteGateLimits) {
+  const std::string jsonl = ::testing::TempDir() + "/cli_diff_nan.jsonl";
+  std::remove(jsonl.c_str());
+  std::string out;
+  ASSERT_EQ(run_command("run beta 1 2 6 4 32 --metrics-out " + jsonl, &out), 0);
+  // 'effort_mean>nan' used to parse and then pass everything (NaN compares
+  // false); it is now a usage error like any other malformed clause.
+  EXPECT_EQ(run_command("report " + jsonl + " " + jsonl + " --fail-on 'effort_mean>nan'",
+                        &out),
+            2);
+  EXPECT_NE(out.find("bad --fail-on clause"), std::string::npos) << out;
+  EXPECT_EQ(run_command("report " + jsonl + " " + jsonl + " --fail-on 'events>inf'", &out), 2);
+  std::remove(jsonl.c_str());
+}
+
 TEST(Cli, ReportOnMissingOrMalformedInputFails) {
   std::string out;
   EXPECT_EQ(run_command("report /nonexistent/metrics.jsonl", &out), 1);

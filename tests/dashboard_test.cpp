@@ -1,0 +1,277 @@
+// Tests for the live dashboard (obs/dashboard): golden frames for the pure
+// renderer, the display-only snapshot plumbing, and the contract that
+// attaching a dashboard never changes campaign or fuzz results.
+#include "rstp/obs/dashboard.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <vector>
+
+#include "rstp/sim/campaign.h"
+#include "rstp/sim/fuzz.h"
+
+namespace rstp::obs {
+namespace {
+
+using protocols::ProtocolKind;
+
+/// A fixed mid-flight campaign state: every derived figure (percent, rate,
+/// ETA, percentiles) is exactly representable so the goldens are stable.
+DashboardState campaign_state() {
+  DashboardState s;
+  s.mode = DashboardState::Mode::Campaign;
+  s.color = false;
+  s.label = "campaign";
+  s.elapsed_seconds = 12.5;
+  s.done = 17;
+  s.total = 32;
+  s.events = 123456;
+  s.effort_mean = 2.75;
+  s.effort_jobs = 17;
+  DashboardProtocolRow alpha;
+  alpha.name = "alpha";
+  alpha.done = 16;
+  alpha.total = 16;
+  alpha.events = 61728;
+  alpha.effort_mean = 2.25;
+  alpha.effort_jobs = 16;
+  DashboardProtocolRow beta;
+  beta.name = "beta";
+  beta.done = 1;
+  beta.total = 16;
+  beta.events = 61728;
+  beta.effort_mean = 3.5;
+  beta.effort_jobs = 1;
+  s.protocols = {alpha, beta};
+  s.delay_buckets.assign(8, 0);
+  s.delay_buckets[0] = 10;
+  s.delay_buckets[3] = 50;
+  s.delay_buckets[5] = 35;
+  s.delay_buckets[6] = 5;
+  s.delay_count = 100;
+  return s;
+}
+
+DashboardState fuzz_state() {
+  DashboardState s;
+  s.mode = DashboardState::Mode::Fuzz;
+  s.color = false;
+  s.elapsed_seconds = 4.0;
+  s.done = 96;
+  s.total = 256;
+  s.generation = 3;
+  s.corpus = 17;
+  s.coverage = 412;
+  s.coverage_gain = 37;
+  s.crashes = 2;
+  s.failures = 0;
+  return s;
+}
+
+TEST(RenderFrame, CampaignGolden) {
+  const std::string expected =
+      "campaign  [############............]  17/32 jobs (53.1%)  elapsed 12.5s  eta 11.0s\n"
+      "  1.4 jobs/s  |  123456 events  |  effort mean 2.75  |  delay p50/p95/p99 3/5/6 "
+      "ticks\n"
+      "  alpha  [########################]  16/16  effort 2.25  events 61728\n"
+      "  beta   [#.......................]  1/16  effort 3.50  events 61728\n";
+  EXPECT_EQ(render_frame(campaign_state()), expected);
+}
+
+TEST(RenderFrame, FuzzGolden) {
+  const std::string expected =
+      "fuzz  [#########...............]  96/256 cases (37.5%)  elapsed 4.0s  eta 6.7s\n"
+      "  gen 3  |  24.0 cases/s  |  corpus 17  |  coverage 412 (+37)  |  crashes 2  |  "
+      "failures 0\n";
+  EXPECT_EQ(render_frame(fuzz_state()), expected);
+}
+
+TEST(RenderFrame, PlainModeHasNoEscapeBytes) {
+  for (const DashboardState& s : {campaign_state(), fuzz_state()}) {
+    EXPECT_EQ(render_frame(s).find('\x1b'), std::string::npos);
+    EXPECT_EQ(render_line(s).find('\x1b'), std::string::npos);
+  }
+}
+
+TEST(RenderFrame, ColorModeUsesAnsiAndKeepsTheSameTextShape) {
+  DashboardState colored = campaign_state();
+  colored.color = true;
+  const std::string frame = render_frame(colored);
+  EXPECT_NE(frame.find("\x1b[1m"), std::string::npos);   // bold header
+  EXPECT_NE(frame.find("\x1b[32m"), std::string::npos);  // green bar fill
+  // Stripping SGR sequences recovers the plain golden exactly.
+  std::string stripped;
+  for (std::size_t i = 0; i < frame.size();) {
+    if (frame[i] == '\x1b') {
+      const std::size_t m = frame.find('m', i);
+      ASSERT_NE(m, std::string::npos);
+      i = m + 1;
+    } else {
+      stripped.push_back(frame[i++]);
+    }
+  }
+  EXPECT_EQ(stripped, render_frame(campaign_state()));
+}
+
+TEST(RenderFrame, FailuresTurnRedOnlyInFuzzColorMode) {
+  DashboardState s = fuzz_state();
+  s.color = true;
+  EXPECT_EQ(render_frame(s).find("\x1b[31m"), std::string::npos);  // failures == 0
+  s.failures = 1;
+  EXPECT_NE(render_frame(s).find("\x1b[31m"), std::string::npos);
+}
+
+TEST(RenderFrame, BarEdgesAreEmptyAndFull) {
+  DashboardState s = fuzz_state();
+  s.done = 0;
+  EXPECT_NE(render_frame(s).find("[........................]"), std::string::npos);
+  s.done = s.total;
+  EXPECT_NE(render_frame(s).find("[########################]"), std::string::npos);
+}
+
+TEST(RenderLine, CampaignGolden) {
+  EXPECT_EQ(render_line(campaign_state()),
+            "campaign: 17/32 jobs (53.1%), 123456 events, mean effort 2.75, eta 11.0s");
+}
+
+TEST(RenderLine, FuzzGolden) {
+  EXPECT_EQ(render_line(fuzz_state()),
+            "fuzz: gen 3, 96/256 cases, corpus 17, coverage 412 (+37), crashes 2, failures 0");
+}
+
+TEST(DelayPercentile, NearestRankOverClampedBuckets) {
+  const std::vector<std::uint64_t> buckets{10, 0, 0, 50, 0, 35, 5, 0};
+  EXPECT_EQ(delay_percentile(buckets, 100, 0), 0);
+  EXPECT_EQ(delay_percentile(buckets, 100, 50), 3);
+  EXPECT_EQ(delay_percentile(buckets, 100, 95), 5);
+  EXPECT_EQ(delay_percentile(buckets, 100, 99), 6);
+  EXPECT_EQ(delay_percentile(buckets, 100, 100), 6);
+  EXPECT_EQ(delay_percentile({}, 0, 50), 0);
+  EXPECT_EQ(delay_percentile(buckets, 0, 50), 0);
+}
+
+TEST(Dashboard, RedrawRewindsOverThePreviousFrame) {
+  std::ostringstream out;
+  Dashboard dash{out};
+  dash.draw(campaign_state());
+  EXPECT_EQ(dash.last_frame_lines(), 4u);
+  const std::string first = out.str();
+  EXPECT_NE(first.find("\x1b[?25l"), std::string::npos);  // cursor hidden once
+  EXPECT_EQ(first.find("\x1b[4A"), std::string::npos);    // nothing to rewind yet
+  dash.draw(campaign_state());
+  EXPECT_NE(out.str().find("\x1b[4A\r\x1b[0J"), std::string::npos);
+  dash.close();
+  EXPECT_NE(out.str().find("\x1b[?25h"), std::string::npos);
+  EXPECT_EQ(dash.last_frame_lines(), 0u);
+}
+
+TEST(Dashboard, CloseWithoutDrawWritesNothing) {
+  std::ostringstream out;
+  Dashboard dash{out};
+  dash.close();
+  EXPECT_TRUE(out.str().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot plumbing: the display feed is consistent and cannot perturb the
+// deterministic results it mirrors.
+
+sim::CampaignSpec snapshot_campaign_spec() {
+  sim::CampaignSpec spec;
+  spec.protocols = {ProtocolKind::Alpha, ProtocolKind::Beta};
+  spec.timings = {core::TimingParams::make(1, 1, 4)};
+  spec.alphabets = {4};
+  spec.environments = {core::Environment::worst_case(), core::Environment::randomized(1)};
+  spec.seeds_per_cell = 2;
+  spec.input_bits = 16;
+  spec.campaign_seed = 42;
+  return spec;
+}
+
+TEST(CampaignSnapshots, FinalSnapshotIsExactAndPerProtocol) {
+  const sim::Campaign campaign{snapshot_campaign_spec()};
+  std::vector<sim::CampaignSnapshot> snapshots;
+  sim::CampaignProgress progress;
+  progress.interval = std::chrono::milliseconds{50};
+  progress.on_snapshot = [&](const sim::CampaignSnapshot& s) { snapshots.push_back(s); };
+  const sim::CampaignResult result = campaign.run(2, progress);
+
+  ASSERT_FALSE(snapshots.empty());
+  const sim::CampaignSnapshot& final_snap = snapshots.back();
+  EXPECT_TRUE(final_snap.final_snapshot);
+  EXPECT_EQ(final_snap.jobs_done, campaign.job_count());
+  EXPECT_EQ(final_snap.jobs_total, campaign.job_count());
+  EXPECT_EQ(final_snap.events, result.total_events);
+  ASSERT_EQ(final_snap.protocols.size(), 2u);
+  std::uint64_t done = 0;
+  std::uint64_t events = 0;
+  for (const sim::CampaignProtocolSnapshot& p : final_snap.protocols) {
+    EXPECT_EQ(p.total, campaign.job_count() / 2);
+    done += p.done;
+    events += p.events;
+  }
+  EXPECT_EQ(done, campaign.job_count());
+  EXPECT_EQ(events, result.total_events);
+  // Every data delivery of the grid landed in the display distribution.
+  std::uint64_t bucketed = 0;
+  ASSERT_EQ(final_snap.delay_buckets.size(), sim::CampaignSnapshot::kDelayBuckets);
+  for (const std::uint64_t b : final_snap.delay_buckets) bucketed += b;
+  EXPECT_EQ(bucketed, final_snap.delay_count);
+  EXPECT_GT(final_snap.delay_count, 0u);
+}
+
+TEST(CampaignSnapshots, DashboardOnOrOffIsBitwiseIdenticalAcrossThreadCounts) {
+  const sim::Campaign campaign{snapshot_campaign_spec()};
+  const sim::CampaignResult plain = campaign.run(1);
+  for (const unsigned threads : {1u, 3u, 8u}) {
+    sim::CampaignProgress progress;
+    progress.interval = std::chrono::milliseconds{1};
+    std::size_t calls = 0;
+    progress.on_snapshot = [&](const sim::CampaignSnapshot&) { ++calls; };
+    const sim::CampaignResult observed = campaign.run(threads, progress);
+    EXPECT_TRUE(observed == plain) << "threads " << threads;
+    EXPECT_GE(calls, 1u);
+  }
+}
+
+TEST(FuzzSnapshots, GenerationHookSeesTheHuntAndKeepsDeterminism) {
+  sim::FuzzSpec spec;
+  spec.protocol = ProtocolKind::Beta;
+  spec.seed = 7;
+  spec.budget = 48;
+  spec.jobs = 1;
+  const sim::FuzzResult plain = sim::run_fuzz(spec);
+
+  for (const unsigned jobs : {1u, 3u, 8u}) {
+    sim::FuzzSpec hooked = spec;
+    hooked.jobs = jobs;
+    std::vector<sim::FuzzGenerationSnapshot> snapshots;
+    hooked.on_generation = [&](const sim::FuzzGenerationSnapshot& s) {
+      snapshots.push_back(s);
+    };
+    const sim::FuzzResult observed = sim::run_fuzz(hooked);
+
+    EXPECT_EQ(observed.executed, plain.executed) << "jobs " << jobs;
+    EXPECT_EQ(observed.coverage, plain.coverage) << "jobs " << jobs;
+    EXPECT_EQ(observed.coverage_hash, plain.coverage_hash) << "jobs " << jobs;
+    EXPECT_TRUE(observed.corpus == plain.corpus) << "jobs " << jobs;
+    EXPECT_EQ(observed.failures.size(), plain.failures.size()) << "jobs " << jobs;
+
+    ASSERT_GE(snapshots.size(), 2u);  // at least one generation + the final one
+    EXPECT_TRUE(snapshots.back().final_snapshot);
+    EXPECT_EQ(snapshots.back().executed, observed.executed);
+    EXPECT_EQ(snapshots.back().coverage, observed.coverage);
+    EXPECT_EQ(snapshots.back().corpus, observed.corpus.size());
+    EXPECT_EQ(snapshots.back().budget, spec.budget);
+    for (std::size_t i = 0; i + 1 < snapshots.size(); ++i) {
+      EXPECT_FALSE(snapshots[i].final_snapshot);
+      EXPECT_EQ(snapshots[i].generation, i);
+      EXPECT_LE(snapshots[i].executed, snapshots[i + 1].executed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rstp::obs

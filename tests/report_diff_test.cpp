@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rstp/obs/json.h"
+
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -174,6 +176,60 @@ TEST(Thresholds, ParseErrorsNameTheOffendingToken) {
   EXPECT_EQ(token_of("a>1,,b>2"), "");                        // empty clause
 }
 
+TEST(Thresholds, RejectsNonFiniteLimits) {
+  // from_chars parses "nan"/"inf" lexemes; accepting them would make a gate
+  // that silently passes everything (NaN compares false against all values).
+  const auto token_of = [](const std::string& spec) {
+    try {
+      (void)parse_thresholds(spec);
+    } catch (const ThresholdParseError& error) {
+      return error.token();
+    }
+    return std::string{"<no error>"};
+  };
+  EXPECT_EQ(token_of("effort_mean>nan"), "effort_mean>nan");
+  EXPECT_EQ(token_of("effort_mean>inf"), "effort_mean>inf");
+  EXPECT_EQ(token_of("effort_mean>=nan"), "effort_mean>=nan");
+  EXPECT_EQ(token_of("events>inf%"), "events>inf%");
+  EXPECT_EQ(token_of("events>nan(ind)"), "events>nan(ind)");
+}
+
+TEST(Thresholds, NanObservedValueTripsTheGate) {
+  // A NaN measurement compares false against any finite limit; the gate must
+  // report it as a violation instead of certifying the run.
+  DiffReport report;
+  QuantityDelta poisoned;
+  poisoned.name = "effort_mean";
+  poisoned.integral = false;
+  poisoned.old_v = std::numeric_limits<double>::quiet_NaN();
+  poisoned.new_v = 5.0;
+  report.aggregates.push_back(poisoned);
+  for (const char* spec : {"effort_mean>1000", "effort_mean>0.1%"}) {
+    const std::vector<ThresholdViolation> violations =
+        evaluate_thresholds(report, parse_thresholds(spec));
+    ASSERT_EQ(violations.size(), 1u) << spec;
+    EXPECT_TRUE(std::isnan(violations[0].observed)) << spec;
+  }
+}
+
+TEST(Thresholds, ZeroBaselineRelativeGateTripsLoudly) {
+  // pct() maps a zero baseline to +HUGE_VAL by convention, so a relative
+  // gate on a quantity that appears from nothing always trips.
+  DiffReport report;
+  QuantityDelta appeared;
+  appeared.name = "events_total";
+  appeared.integral = true;
+  appeared.old_u = 0;
+  appeared.new_u = 7;
+  appeared.old_v = 0;
+  appeared.new_v = 7;
+  report.aggregates.push_back(appeared);
+  const std::vector<ThresholdViolation> violations =
+      evaluate_thresholds(report, parse_thresholds("events>1000000%"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].observed, HUGE_VAL);
+}
+
 TEST(Thresholds, UnknownQuantityThrowsAtEvaluation) {
   const std::vector<RunMetricsRecord> runs = {make_record("alpha", 1, 10)};
   const DiffReport report = diff_metrics(runs, runs);
@@ -222,6 +278,27 @@ TEST(DiffJson, RoundTripsExactlyThroughTheBundledParser) {
 TEST(DiffJson, RejectsWrongSchemaTag) {
   EXPECT_THROW((void)read_diff_json(R"({"schema":"not-a-diff"})"), JsonParseError);
   EXPECT_THROW((void)read_diff_json("not json at all"), JsonParseError);
+}
+
+TEST(JsonStrings, SurrogatePairsDecodeToOneUtf8Sequence) {
+  // \uD83D\uDE00 is U+1F600; the decoder must combine the pair instead of
+  // emitting two raw 3-byte surrogates (which is invalid UTF-8).
+  const JsonValue v = parse_json("\"\\uD83D\\uDE00\"");
+  EXPECT_EQ(v.text, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonStrings, BmpBoundariesStillDecodeAsThreeBytes) {
+  EXPECT_EQ(parse_json("\"\\uD7FF\"").text, "\xED\x9F\xBF");  // last before surrogates
+  EXPECT_EQ(parse_json("\"\\uE000\"").text, "\xEE\x80\x80");  // first after surrogates
+}
+
+TEST(JsonStrings, LoneOrMismatchedSurrogatesAreRejected) {
+  EXPECT_THROW((void)parse_json(R"("\uD800")"), JsonParseError);        // lone high
+  EXPECT_THROW((void)parse_json(R"("\uDC00")"), JsonParseError);        // lone low
+  EXPECT_THROW((void)parse_json(R"("\uD800A")"), JsonParseError);  // high + BMP
+  EXPECT_THROW((void)parse_json(R"("\uD800\uD800")"), JsonParseError);  // high + high
+  EXPECT_THROW((void)parse_json(R"("\uD800\u0041")"), JsonParseError);  // high + escaped BMP
+  EXPECT_THROW((void)parse_json(R"("\uD800x")"), JsonParseError);       // high + raw char
 }
 
 }  // namespace

@@ -27,10 +27,14 @@
 //       perf baseline JSON (schema in docs/PERF.md). Campaign progress lines
 //       go to stderr; --metrics-out appends one JSONL row per job.
 //
-//   rstp campaign [--metrics-out FILE] [--threads N]
+//   rstp campaign [--metrics-out FILE] [--threads N] [--dashboard]
 //       Run the fixed golden campaign grid (the regression-gate reference;
 //       bitwise deterministic for any thread count) and append one JSONL row
-//       per job to --metrics-out.
+//       per job to --metrics-out. --dashboard renders a live terminal view
+//       (per-protocol bars, jobs/sec, ETA, rolling effort mean and delay
+//       percentiles); when stdout is not a TTY or NO_COLOR is set it
+//       degrades to the one-line progress mode (never ANSI). --no-dashboard
+//       wins over --dashboard. Display never touches the result.
 //
 //   rstp report <metrics.jsonl>
 //       Render a metrics JSONL file (from --metrics-out) as a table.
@@ -58,6 +62,9 @@
 //         --metrics-out FILE  append one JSONL row per corpus entry
 //         --wait-override W / --block-override B   mutant knobs
 //         --max-events N / --time-budget-ms N / --keep-going
+//         --dashboard         live per-generation view (corpus, coverage
+//                             growth, crash/failure counters); same TTY /
+//                             NO_COLOR / --no-dashboard fallback as campaign
 //
 //   rstp replay <reprofile>
 //       Re-execute a repro document and compare every recorded field.
@@ -83,6 +90,7 @@
 #include "rstp/core/verify.h"
 #include "rstp/ioa/explorer.h"
 #include "rstp/ioa/trace_io.h"
+#include "rstp/obs/dashboard.h"
 #include "rstp/obs/diff.h"
 #include "rstp/obs/sinks.h"
 #include "rstp/protocols/factory.h"
@@ -103,13 +111,15 @@ int usage() {
                "  rstp verify  <c1> <c2> <d> <tracefile> <bits>\n"
                "  rstp explore <protocol> <d> <k> <bits>\n"
                "  rstp bench   [--json PATH] [--threads N]... [--metrics-out FILE]\n"
-               "  rstp campaign [--metrics-out FILE] [--threads N]\n"
+               "  rstp campaign [--metrics-out FILE] [--threads N] [--dashboard]"
+               " [--no-dashboard]\n"
                "  rstp report  <metrics.jsonl>\n"
                "  rstp report  <old.jsonl> <new.jsonl> [--json] [--fail-on SPEC]\n"
                "  rstp fuzz    <protocol> [--seed N] [--budget N] [--jobs N] [--k K]"
                " [--bits N] [--faults] [--corpus DIR] [--repro-out FILE]"
                " [--metrics-out FILE] [--wait-override W] [--block-override B]"
-               " [--max-events N] [--time-budget-ms N] [--keep-going]\n"
+               " [--max-events N] [--time-budget-ms N] [--keep-going]"
+               " [--dashboard] [--no-dashboard]\n"
                "  rstp replay  <reprofile>\n";
   return 2;
 }
@@ -443,9 +453,65 @@ int cmd_bench(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
+/// How `--dashboard` resolves against the terminal: live ANSI frames only on
+/// a real TTY with NO_COLOR unset; otherwise the one-line fallback, which
+/// never emits escape bytes (CI pipes it and greps for exactly that).
+enum class ProgressStyle { None, Lines, Frames };
+
+[[nodiscard]] ProgressStyle resolve_progress_style(bool want_dashboard) {
+  if (!want_dashboard) return ProgressStyle::None;
+  return obs::stream_supports_dashboard(stdout) ? ProgressStyle::Frames : ProgressStyle::Lines;
+}
+
+[[nodiscard]] obs::DashboardState campaign_dashboard_state(const sim::CampaignSnapshot& snap) {
+  obs::DashboardState s;
+  s.mode = obs::DashboardState::Mode::Campaign;
+  s.label = "campaign";
+  s.elapsed_seconds = snap.elapsed_seconds;
+  s.done = snap.jobs_done;
+  s.total = snap.jobs_total;
+  s.events = snap.events;
+  s.effort_jobs = snap.effort_jobs;
+  if (snap.effort_jobs > 0) {
+    s.effort_mean = snap.effort_sum / static_cast<double>(snap.effort_jobs);
+  }
+  s.protocols.reserve(snap.protocols.size());
+  for (const sim::CampaignProtocolSnapshot& p : snap.protocols) {
+    obs::DashboardProtocolRow row;
+    row.name = std::string{protocols::to_string(p.protocol)};
+    row.done = p.done;
+    row.total = p.total;
+    row.events = p.events;
+    row.effort_jobs = p.effort_jobs;
+    if (p.effort_jobs > 0) row.effort_mean = p.effort_sum / static_cast<double>(p.effort_jobs);
+    s.protocols.push_back(std::move(row));
+  }
+  s.delay_buckets = snap.delay_buckets;
+  s.delay_count = snap.delay_count;
+  return s;
+}
+
+[[nodiscard]] obs::DashboardState fuzz_dashboard_state(const sim::FuzzGenerationSnapshot& snap,
+                                                       protocols::ProtocolKind protocol) {
+  obs::DashboardState s;
+  s.mode = obs::DashboardState::Mode::Fuzz;
+  s.label = "fuzz " + std::string{protocols::to_string(protocol)};
+  s.elapsed_seconds = snap.elapsed_seconds;
+  s.done = snap.executed;
+  s.total = snap.budget;
+  s.generation = snap.generation;
+  s.corpus = snap.corpus;
+  s.coverage = snap.coverage;
+  s.coverage_gain = snap.coverage_gain;
+  s.crashes = snap.crashes;
+  s.failures = snap.failures;
+  return s;
+}
+
 int cmd_campaign(int argc, char** argv) {
   std::string metrics_file;
   unsigned threads = 1;
+  bool want_dashboard = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out" && i + 1 < argc) {
@@ -454,13 +520,31 @@ int cmd_campaign(int argc, char** argv) {
       const auto parsed = parse_number<unsigned>(argv[++i]);
       if (!parsed.has_value()) return bad_number("--threads", argv[i]);
       threads = *parsed;
+    } else if (arg == "--dashboard") {
+      want_dashboard = true;
+    } else if (arg == "--no-dashboard") {
+      want_dashboard = false;
     } else {
       return usage();
     }
   }
   const sim::CampaignSpec spec = sim::golden_campaign_spec();
   const sim::Campaign campaign{spec};
-  const sim::CampaignResult result = campaign.run(threads);
+  const ProgressStyle style = resolve_progress_style(want_dashboard);
+  sim::CampaignProgress progress;
+  obs::Dashboard dashboard{std::cout};
+  if (style == ProgressStyle::Lines) {
+    progress.out = &std::cout;
+    progress.interval = std::chrono::milliseconds{500};
+  } else if (style == ProgressStyle::Frames) {
+    progress.interval = std::chrono::milliseconds{250};
+    progress.on_snapshot = [&dashboard](const sim::CampaignSnapshot& snap) {
+      dashboard.draw(campaign_dashboard_state(snap));
+    };
+  }
+  const sim::CampaignResult result =
+      style == ProgressStyle::None ? campaign.run(threads) : campaign.run(threads, progress);
+  dashboard.close();
   std::cout << "golden grid: " << result.jobs.size() << " jobs, " << result.incorrect
             << " incorrect, mean effort " << result.effort.mean << " ticks/bit\n";
   if (!metrics_file.empty()) {
@@ -601,6 +685,7 @@ int cmd_fuzz(int argc, char** argv) {
   std::string corpus_dir;
   std::string repro_file;
   std::string metrics_file;
+  bool want_dashboard = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto take_number = [&](auto& slot) {
@@ -633,6 +718,10 @@ int cmd_fuzz(int argc, char** argv) {
       spec.faults_enabled = true;
     } else if (arg == "--keep-going") {
       spec.stop_on_failure = false;
+    } else if (arg == "--dashboard") {
+      want_dashboard = true;
+    } else if (arg == "--no-dashboard") {
+      want_dashboard = false;
     } else if (arg == "--corpus" && i + 1 < argc) {
       corpus_dir = argv[++i];
     } else if (arg == "--repro-out" && i + 1 < argc) {
@@ -668,7 +757,21 @@ int cmd_fuzz(int argc, char** argv) {
     }
   }
 
+  const ProgressStyle style = resolve_progress_style(want_dashboard);
+  obs::Dashboard dashboard{std::cout};
+  if (style == ProgressStyle::Frames) {
+    spec.on_generation = [&dashboard, &spec](const sim::FuzzGenerationSnapshot& snap) {
+      dashboard.draw(fuzz_dashboard_state(snap, spec.protocol));
+    };
+  } else if (style == ProgressStyle::Lines) {
+    spec.on_generation = [&spec](const sim::FuzzGenerationSnapshot& snap) {
+      std::cout << obs::render_line(fuzz_dashboard_state(snap, spec.protocol)) << '\n'
+                << std::flush;
+    };
+  }
+
   const sim::FuzzResult result = sim::run_fuzz(spec);
+  dashboard.close();
   std::cout << "protocol:      " << protocols::to_string(spec.protocol) << "\n"
             << "executed:      " << result.executed << " cases (budget " << spec.budget
             << ", jobs " << spec.jobs << ")\n"
