@@ -1,11 +1,117 @@
 #include "rstp/common/time.h"
 
+#include <cstdlib>
+#include <mutex>
 #include <ostream>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
 
 namespace rstp {
 
 std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ticks() << "t"; }
 
 std::ostream& operator<<(std::ostream& os, Time t) { return os << "@" << t.ticks(); }
+
+// ---------------------------------------------------------------------------
+// Host clock calibration
+
+namespace detail {
+
+HostClockState host_clock_state;
+
+}  // namespace detail
+
+namespace {
+
+/// CPUID leaf 0x80000007, EDX bit 8: "Invariant TSC" — the counter ticks at a
+/// constant rate across P-/C-state transitions, which is the property that
+/// makes a one-shot calibration against steady_clock valid for the whole run.
+[[nodiscard]] bool cpu_has_invariant_tsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(0x80000000u, &eax, &ebx, &ecx, &edx) == 0) return false;
+  if (eax < 0x80000007u) return false;
+  if (__get_cpuid(0x80000007u, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (edx & (1u << 8)) != 0;
+#else
+  return false;
+#endif
+}
+
+/// One calibration pass: samples (tsc, steady) twice across a ~2ms window and
+/// derives the fixed-point cycles→ns multiplier. Returns false (leaving the
+/// fallback in place) when the TSC is unusable: no invariant bit, RSTP_NO_TSC
+/// set, no 128-bit multiply, or a nonsensical sample (counter not advancing).
+bool try_calibrate_tsc() {
+#if defined(__SIZEOF_INT128__)
+  if (std::getenv("RSTP_NO_TSC") != nullptr) return false;
+  if (!cpu_has_invariant_tsc()) return false;
+
+  const std::uint64_t ns0 = detail::steady_now_ns();
+  const std::uint64_t tsc0 = detail::read_tsc();
+  // Spin (not sleep) so the window is wall-clock-tight; 2ms gives the
+  // multiplier ~5 significant digits, plenty for profiling spans.
+  std::uint64_t ns1 = ns0;
+  while (ns1 - ns0 < 2'000'000) ns1 = detail::steady_now_ns();
+  const std::uint64_t tsc1 = detail::read_tsc();
+  ns1 = detail::steady_now_ns();
+
+  if (tsc1 <= tsc0 || ns1 <= ns0) return false;
+  const unsigned __int128 mult =
+      ((static_cast<unsigned __int128>(ns1 - ns0) << detail::kHostClockShift) +
+       (tsc1 - tsc0) / 2) /
+      (tsc1 - tsc0);
+  if (mult == 0 || mult > ~std::uint64_t{0}) return false;
+
+  detail::host_clock_state.tsc_base = tsc1;
+  detail::host_clock_state.ns_base = ns1;
+  detail::host_clock_state.mult = static_cast<std::uint64_t>(mult);
+  detail::host_clock_state.active.store(true, std::memory_order_release);
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::once_flag calibrate_once;
+
+}  // namespace
+
+void calibrate_host_clock() {
+  std::call_once(calibrate_once, [] { (void)try_calibrate_tsc(); });
+}
+
+HostClockSource host_clock_source() {
+  calibrate_host_clock();  // idempotent: report the source that would be used
+  return detail::host_clock_state.active.load(std::memory_order_acquire)
+             ? HostClockSource::Tsc
+             : HostClockSource::Steady;
+}
+
+const char* to_string(HostClockSource source) {
+  return source == HostClockSource::Tsc ? "tsc" : "steady";
+}
+
+namespace detail {
+
+void recalibrate_host_clock_for_testing() {
+  host_clock_state.active.store(false, std::memory_order_release);
+  (void)try_calibrate_tsc();
+}
+
+void set_host_clock_source_for_testing(HostClockSource source) {
+  if (source == HostClockSource::Steady) {
+    host_clock_state.active.store(false, std::memory_order_release);
+  } else if (host_clock_state.mult != 0) {
+    host_clock_state.active.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace detail
 
 }  // namespace rstp

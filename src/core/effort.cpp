@@ -65,7 +65,8 @@ std::unique_ptr<channel::DeliveryPolicy> make_delivery_policy(Environment::Delay
 }
 
 ProtocolRun run_protocol(protocols::ProtocolKind kind, const protocols::ProtocolConfig& config,
-                         const Environment& env, bool record_trace, std::uint64_t max_events) {
+                         const Environment& env, bool record_trace, std::uint64_t max_events,
+                         obs::trace::ModelRecorder* tracer) {
   protocols::ProtocolInstance instance = protocols::make_protocol(kind, config);
 
   Rng seeder{env.seed};
@@ -78,6 +79,7 @@ ProtocolRun run_protocol(protocols::ProtocolKind kind, const protocols::Protocol
   sim_config.params = config.params;
   sim_config.record_trace = record_trace;
   sim_config.max_events = max_events;
+  sim_config.tracer = tracer;
 
   sim::Simulator simulator{*instance.transmitter, *instance.receiver, chan, *t_sched, *r_sched,
                            sim_config};

@@ -11,6 +11,8 @@
 // instants. Both are strong types: mixing them up is a compile error.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
@@ -102,5 +104,89 @@ class Time {
 
 std::ostream& operator<<(std::ostream& os, Duration d);
 std::ostream& operator<<(std::ostream& os, Time t);
+
+// ---------------------------------------------------------------------------
+// Host wall-clock time (profiling only — never part of the model).
+//
+// Model time above is integral and bit-reproducible; host time is the other
+// domain: what the phase timers and the tracer's profiling spans are stamped
+// with. The default source is std::chrono::steady_clock. On x86-64 hosts
+// whose CPU advertises an invariant TSC, calibrate_host_clock() measures the
+// TSC rate against steady_clock once at startup and host_now_ns() then reads
+// the counter directly — roughly an order of magnitude cheaper per read than
+// a clock_gettime call, which is what pushes the phase-timer pair floor
+// below the documented ~265ns. Setting the environment variable RSTP_NO_TSC
+// (to any value) forces the steady_clock fallback; so does a missing
+// invariant-TSC bit or a failed calibration.
+
+enum class HostClockSource : std::uint8_t {
+  Steady,  ///< std::chrono::steady_clock (the portable fallback)
+  Tsc,     ///< calibrated invariant rdtsc
+};
+
+/// Detects and calibrates the TSC once per process (idempotent, thread-safe).
+/// Until the first call host_now_ns() reads steady_clock; after it, the best
+/// available source. Callers that care about the phase-timer floor (e.g.
+/// set_phase_timing_enabled) invoke this; everyone else may stay oblivious.
+void calibrate_host_clock();
+
+/// The source host_now_ns() currently reads.
+[[nodiscard]] HostClockSource host_clock_source();
+[[nodiscard]] const char* to_string(HostClockSource source);
+
+namespace detail {
+
+/// Calibration state for the TSC fast path. `active` flips to true only
+/// after every other field is published (release/acquire pairing below), and
+/// only ever flips once outside of tests.
+struct HostClockState {
+  std::atomic<bool> active{false};
+  std::uint64_t tsc_base = 0;  ///< counter value at calibration
+  std::uint64_t ns_base = 0;   ///< steady_clock ns at calibration
+  std::uint64_t mult = 0;      ///< ns = (cycles * mult) >> kHostClockShift
+};
+inline constexpr unsigned kHostClockShift = 32;
+extern HostClockState host_clock_state;
+
+[[nodiscard]] inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+[[nodiscard]] inline std::uint64_t read_tsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return 0;
+#endif
+}
+
+/// Re-runs detection + calibration, honoring the current environment. Tests
+/// use this to force the RSTP_NO_TSC fallback after the process-wide
+/// calibration already ran; production code calls calibrate_host_clock().
+void recalibrate_host_clock_for_testing();
+/// Flips between the calibrated TSC and the steady fallback without
+/// re-calibrating (no-op if the TSC was never calibrated). Lets one process
+/// measure both sources back to back.
+void set_host_clock_source_for_testing(HostClockSource source);
+
+}  // namespace detail
+
+/// Current host time in nanoseconds (monotonic; epoch unspecified — only
+/// differences are meaningful). Inline: with the TSC active this is one
+/// counter read and a 128-bit multiply, no call.
+[[nodiscard]] inline std::uint64_t host_now_ns() {
+#if defined(__SIZEOF_INT128__)
+  if (detail::host_clock_state.active.load(std::memory_order_acquire)) {
+    const std::uint64_t cycles = detail::read_tsc() - detail::host_clock_state.tsc_base;
+    return detail::host_clock_state.ns_base +
+           static_cast<std::uint64_t>(
+               (static_cast<unsigned __int128>(cycles) * detail::host_clock_state.mult) >>
+               detail::kHostClockShift);
+  }
+#endif
+  return detail::steady_now_ns();
+}
 
 }  // namespace rstp

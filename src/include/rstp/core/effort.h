@@ -67,11 +67,14 @@ struct ProtocolRun {
 };
 
 /// Instantiates `kind` over `config`, runs it in `env`, and reports.
-/// `record_trace=false` keeps memory flat for large n.
+/// `record_trace=false` keeps memory flat for large n. `tracer` (obs/trace.h;
+/// non-owning) arms the causal span tracer for the run; it is a pure observer
+/// and cannot change any result bit.
 [[nodiscard]] ProtocolRun run_protocol(protocols::ProtocolKind kind,
                                        const protocols::ProtocolConfig& config,
                                        const Environment& env, bool record_trace = true,
-                                       std::uint64_t max_events = 50'000'000);
+                                       std::uint64_t max_events = 50'000'000,
+                                       obs::trace::ModelRecorder* tracer = nullptr);
 
 struct EffortMeasurement {
   std::size_t n = 0;              ///< |X|

@@ -24,7 +24,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -33,8 +32,18 @@
 #include <vector>
 
 #include "rstp/common/check.h"
+#include "rstp/common/time.h"
 
 namespace rstp::obs {
+
+/// Nearest-rank fold over a fixed bucket array: the index of the bucket
+/// containing the rank-⌈p/100·count⌉ observation (rank clamped into
+/// [1, count]; p clamped into [0, 100]). The one percentile kernel shared by
+/// Histogram::percentile, the dashboard's display fold, and the trace
+/// summary — callers map the returned index to their own value domain.
+/// `count` must equal the sum of the buckets; returns 0 when count is 0.
+[[nodiscard]] std::size_t nearest_rank_bucket(const std::uint64_t* buckets, std::size_t size,
+                                              std::uint64_t count, double p);
 
 /// A fixed-bucket linear histogram over int64 values with exact count / sum /
 /// min / max and nearest-rank percentiles.
@@ -221,9 +230,25 @@ inline constexpr std::size_t kPhaseCount = 12;
 
 /// Phase timing is off by default: instrumented code pays one relaxed atomic
 /// load and never touches the clock. Enable around a region of interest
-/// (e.g. `rstp run --timing`, `rstp bench`).
+/// (e.g. `rstp run --timing`, `rstp bench`). Enabling also calibrates the
+/// host clock (common/time.h), so timestamps come from the TSC when the CPU
+/// supports it.
 void set_phase_timing_enabled(bool enabled);
 [[nodiscard]] bool phase_timing_enabled();
+
+/// Measures the cost of one armed ScopedPhaseTimer enter/exit pair (two clock
+/// reads plus the stack and registry bookkeeping) by timing a tight loop of
+/// empty timers, min-of-trials to filter preemption. The result is stored
+/// process-wide, published as the "phase/_overhead/ns_per_pair" gauge in the
+/// global registry (and re-published across reset_phase_totals), and returned.
+/// The calibration loop itself records into the phase counters — call
+/// reset_phase_totals() afterwards, before the workload you want attributed.
+/// Temporarily enables phase timing if it is off.
+std::uint64_t measure_phase_overhead_ns_per_pair();
+
+/// The last measured timer-pair overhead (0 before any measurement). What
+/// `rstp run --timing` subtracts to print net-of-overhead attribution.
+[[nodiscard]] std::uint64_t phase_overhead_ns_per_pair();
 
 struct PhaseTotal {
   Phase phase{};
@@ -256,15 +281,12 @@ namespace detail {
 /// Hot-path gate for ScopedPhaseTimer. Mutate only through
 /// set_phase_timing_enabled(); read with relaxed ordering.
 extern std::atomic<bool> phase_timing_flag;
-/// Monotonic clock read. Inline so the timer ctor reads it directly, before
-/// any other instrumentation work — everything the machinery does then falls
-/// inside the measured interval and is attributed to the phase it measures,
-/// not smeared into the enclosing phase's self time.
-[[nodiscard]] inline std::uint64_t phase_now_ns() {
-  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                        std::chrono::steady_clock::now().time_since_epoch())
-                                        .count());
-}
+/// Monotonic clock read — the calibrated host clock (TSC when available,
+/// steady_clock otherwise; see common/time.h). Inline so the timer ctor reads
+/// it directly, before any other instrumentation work — everything the
+/// machinery does then falls inside the measured interval and is attributed
+/// to the phase it measures, not smeared into the enclosing phase's self time.
+[[nodiscard]] inline std::uint64_t phase_now_ns() { return rstp::host_now_ns(); }
 /// Pushes `phase` on this thread's phase stack.
 void phase_push(Phase phase);
 /// Pops the stack and records the elapsed time: the call count plus either

@@ -51,8 +51,12 @@ void write_run_metrics_jsonl(std::ostream& os, const RunMetricsRecord& record);
 void print_metrics_table(std::ostream& os, const std::vector<RunMetricsRecord>& records);
 
 /// Renders the wall-clock phase-timer totals (per-phase calls, total and
-/// mean time) as a small table.
-void print_phase_table(std::ostream& os, const std::vector<PhaseTotal>& totals);
+/// mean time) as a small table. A nonzero `overhead_ns_per_pair` (the
+/// measured cost of one enter/exit pair, see
+/// obs::measure_phase_overhead_ns_per_pair) adds a net_ns column: the mean
+/// with `overhead` subtracted per call, floored at zero.
+void print_phase_table(std::ostream& os, const std::vector<PhaseTotal>& totals,
+                       std::uint64_t overhead_ns_per_pair = 0);
 
 /// Renders the nested parent/child attribution as an indented tree: roots
 /// are phases never observed inside another phase (plus the top-level

@@ -36,6 +36,10 @@
 #include "rstp/obs/run_metrics.h"
 #include "rstp/protocols/factory.h"
 
+namespace rstp::obs::trace {
+class ModelRecorder;
+}  // namespace rstp::obs::trace
+
 namespace rstp::sim {
 
 /// A complete, serializable genome for one fuzz run. Every field feeds the
@@ -90,7 +94,10 @@ struct FuzzCaseResult {
 
 /// Executes one genome: seeded schedulers, uniform-random delays in [0, d],
 /// optional SeededFaultInjector, full trace, fault-aware verification.
-[[nodiscard]] FuzzCaseResult run_fuzz_case(const FuzzCase& c);
+/// `tracer` (obs/trace.h; non-owning) records the causal span timeline of the
+/// run; a pure observer, it cannot change the result.
+[[nodiscard]] FuzzCaseResult run_fuzz_case(const FuzzCase& c,
+                                           obs::trace::ModelRecorder* tracer = nullptr);
 
 /// A display-only snapshot of the hunt after one generation's serial fold,
 /// published through FuzzSpec::on_generation. Emitted only from the fold (and
@@ -184,7 +191,8 @@ struct ReplayOutcome {
   bool reproduced = false;
   std::string mismatch;  ///< first differing field, "got vs expected"
 };
-[[nodiscard]] ReplayOutcome replay_fuzz_repro(const FuzzRepro& repro);
+[[nodiscard]] ReplayOutcome replay_fuzz_repro(const FuzzRepro& repro,
+                                              obs::trace::ModelRecorder* tracer = nullptr);
 
 /// The verdict fields of `result` as a FuzzRepro (shared by write/replay).
 [[nodiscard]] FuzzRepro make_fuzz_repro(const FuzzCase& c, const FuzzCaseResult& result);

@@ -34,6 +34,10 @@
 #include "rstp/obs/run_metrics.h"
 #include "rstp/sim/scheduler.h"
 
+namespace rstp::obs::trace {
+class ModelRecorder;
+}  // namespace rstp::obs::trace
+
 namespace rstp::sim {
 
 struct SimConfig {
@@ -54,6 +58,10 @@ struct SimConfig {
   /// invariants at every intermediate state rather than post-hoc; throwing
   /// from it aborts the run with the exception.
   std::function<void(const ioa::TimedEvent&)> observer;
+  /// Optional causal span tracer (obs/trace.h; non-owning, must outlive
+  /// run()). A pure observer of the execution: arming it cannot change any
+  /// result bit. Null (the default) costs one pointer test per event.
+  obs::trace::ModelRecorder* tracer = nullptr;
 };
 
 struct RunResult {
@@ -107,9 +115,14 @@ class Simulator {
                                        std::uint64_t step_index) const;
   [[nodiscard]] const core::TimingParams& params_for(ioa::ProcessId id) const;
 
+  [[nodiscard]] const obs::ProtocolCounters* counters_of(ioa::ProcessId id) const;
+
   channel::Channel* channel_;
   SimConfig config_;
   ProcessState procs_[2];  // indexed by ProcessId
+  /// Cached CounterSource view of each automaton (null when it has none);
+  /// resolved once in the constructor so tracer hooks skip the dynamic_cast.
+  const obs::CounterSource* counter_sources_[2] = {nullptr, nullptr};
   std::uint64_t next_seq_ = 0;
   bool record_events_ = false;  ///< cached record_trace || observer
   bool ran_ = false;

@@ -1,5 +1,7 @@
 #include "rstp/obs/dashboard.h"
 
+#include "rstp/obs/metrics.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -116,16 +118,9 @@ void append_fuzz_body(std::ostringstream& os, const DashboardState& s) {
 std::int64_t delay_percentile(const std::vector<std::uint64_t>& buckets, std::uint64_t count,
                               double p) {
   if (count == 0 || buckets.empty()) return 0;
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  auto rank = static_cast<std::uint64_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(count)));
-  rank = std::max<std::uint64_t>(1, std::min(rank, count));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= rank) return static_cast<std::int64_t>(i);
-  }
-  return static_cast<std::int64_t>(buckets.size() - 1);
+  // Display fold: bucket index i holds delays of i ticks (clamped at the top
+  // bucket), so the bucket index *is* the reported value.
+  return static_cast<std::int64_t>(nearest_rank_bucket(buckets.data(), buckets.size(), count, p));
 }
 
 std::string render_frame(const DashboardState& state) {

@@ -2,12 +2,27 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cmath>
 
 #include "rstp/common/check.h"
+#include "rstp/obs/trace.h"
 
 namespace rstp::obs {
+
+std::size_t nearest_rank_bucket(const std::uint64_t* buckets, std::size_t size,
+                                std::uint64_t count, double p) {
+  if (count == 0 || size == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  rank = std::max<std::uint64_t>(1, std::min(rank, count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return i;
+  }
+  return size - 1;
+}
 
 // ---------------------------------------------------------------------------
 // Histogram
@@ -53,21 +68,11 @@ double Histogram::mean() const {
 std::int64_t Histogram::percentile(double p) const {
   RSTP_CHECK(p >= 0.0 && p <= 100.0, "percentile requires p in [0, 100]");
   if (count_ == 0) return 0;
-  // Nearest-rank: the smallest value with at least ceil(p/100 * count)
-  // observations at or below it (rank is at least 1).
-  const auto rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen >= rank) {
-      // Report the bucket's upper edge, clamped to the observed extremes so
-      // width-1 buckets are exact and wide buckets never overshoot max().
-      const std::int64_t edge = lo_ + static_cast<std::int64_t>(i + 1) * width_ - 1;
-      return std::clamp(edge, min_, max_);
-    }
-  }
-  return max_;
+  const std::size_t i = nearest_rank_bucket(buckets_.data(), buckets_.size(), count_, p);
+  // Report the bucket's upper edge, clamped to the observed extremes so
+  // width-1 buckets are exact and wide buckets never overshoot max().
+  const std::int64_t edge = lo_ + static_cast<std::int64_t>(i + 1) * width_ - 1;
+  return std::clamp(edge, min_, max_);
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -360,14 +365,22 @@ void phase_exit(Phase phase, std::uint64_t start_ns) {
         1, std::memory_order_relaxed);
     nanos_slot = &slots[edge_metric(edge.nanos, parent, phase, "ns")];
   }
-  const std::uint64_t elapsed_ns = phase_now_ns() - start_ns;
-  nanos_slot->fetch_add(elapsed_ns, std::memory_order_relaxed);
+  const std::uint64_t end_ns = phase_now_ns();
+  nanos_slot->fetch_add(end_ns - start_ns, std::memory_order_relaxed);
+  // Host profiling spans for the tracer: one relaxed load when no tracer is
+  // attached (and this path only runs with timing enabled in the first
+  // place). Checked after the final clock read so the span cost lands in the
+  // enclosing phase's self time rather than skewing this phase's total.
+  if (trace::detail::host_sink.load(std::memory_order_relaxed) != nullptr) {
+    trace::detail::record_host_span(phase, start_ns, end_ns);
+  }
 }
 
 }  // namespace detail
 
 void set_phase_timing_enabled(bool enabled) {
   if (enabled) {
+    calibrate_host_clock();  // timestamps come from the TSC when available
     (void)phase_ids();  // register the counters before the hot path needs them
   }
   detail::phase_timing_flag.store(enabled, std::memory_order_relaxed);
@@ -417,6 +430,50 @@ std::vector<PhaseEdgeTotal> collect_phase_edge_totals() {
   return out;
 }
 
-void reset_phase_totals() { global_registry().reset(); }
+namespace {
+
+/// Last measured timer-pair overhead; plain global so it survives registry
+/// resets (the gauge is re-published after each reset).
+std::atomic<std::uint64_t> measured_overhead_ns{0};
+
+void publish_overhead_gauge() {
+  const std::uint64_t v = measured_overhead_ns.load(std::memory_order_relaxed);
+  if (v == 0) return;
+  global_registry().gauge_max(global_registry().gauge("phase/_overhead/ns_per_pair"), v);
+}
+
+}  // namespace
+
+std::uint64_t measure_phase_overhead_ns_per_pair() {
+  const bool was_enabled = phase_timing_enabled();
+  if (!was_enabled) set_phase_timing_enabled(true);
+  // Empty timer pairs back to back: each iteration pays exactly the
+  // enter/exit machinery. Min of several trial means filters preemption and
+  // one-time costs (shard registration, edge-id resolution).
+  constexpr std::uint64_t kIters = 16 * 1024;
+  constexpr int kTrials = 8;
+  std::uint64_t best = ~std::uint64_t{0};
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint64_t t0 = host_now_ns();
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      const ScopedPhaseTimer timer{Phase::StepAccount};
+    }
+    const std::uint64_t t1 = host_now_ns();
+    best = std::min(best, (t1 - t0) / kIters);
+  }
+  if (!was_enabled) set_phase_timing_enabled(false);
+  measured_overhead_ns.store(std::max<std::uint64_t>(1, best), std::memory_order_relaxed);
+  publish_overhead_gauge();
+  return measured_overhead_ns.load(std::memory_order_relaxed);
+}
+
+std::uint64_t phase_overhead_ns_per_pair() {
+  return measured_overhead_ns.load(std::memory_order_relaxed);
+}
+
+void reset_phase_totals() {
+  global_registry().reset();
+  publish_overhead_gauge();  // the measured floor survives a counter reset
+}
 
 }  // namespace rstp::obs

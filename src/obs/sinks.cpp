@@ -1,5 +1,6 @@
 #include "rstp/obs/sinks.h"
 
+#include <algorithm>
 #include <charconv>
 #include <iomanip>
 #include <istream>
@@ -265,16 +266,25 @@ void print_phase_tree(std::ostream& os, const std::vector<PhaseTotal>& totals,
   }
 }
 
-void print_phase_table(std::ostream& os, const std::vector<PhaseTotal>& totals) {
+void print_phase_table(std::ostream& os, const std::vector<PhaseTotal>& totals,
+                       std::uint64_t overhead_ns_per_pair) {
   os << std::left << std::setw(14) << "phase" << std::right << std::setw(12) << "calls"
-     << std::setw(14) << "total_us" << std::setw(12) << "mean_ns" << '\n';
+     << std::setw(14) << "total_us" << std::setw(12) << "mean_ns";
+  if (overhead_ns_per_pair > 0) os << std::setw(12) << "net_ns";
+  os << '\n';
   for (const PhaseTotal& t : totals) {
     const double total_us = static_cast<double>(t.nanos) / 1000.0;
     const double mean_ns =
         t.calls == 0 ? 0.0 : static_cast<double>(t.nanos) / static_cast<double>(t.calls);
     os << std::left << std::setw(14) << to_string(t.phase) << std::right << std::setw(12)
        << t.calls << std::setw(14) << std::fixed << std::setprecision(1) << total_us
-       << std::setw(12) << std::setprecision(1) << mean_ns << '\n';
+       << std::setw(12) << std::setprecision(1) << mean_ns;
+    if (overhead_ns_per_pair > 0) {
+      // Each call paid one timer pair; what remains is the phase's own work.
+      const double net_ns = std::max(0.0, mean_ns - static_cast<double>(overhead_ns_per_pair));
+      os << std::setw(12) << std::setprecision(1) << net_ns;
+    }
+    os << '\n';
   }
 }
 

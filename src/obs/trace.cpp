@@ -1,0 +1,592 @@
+#include "rstp/obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "rstp/common/check.h"
+#include "rstp/obs/json.h"
+
+namespace rstp::obs::trace {
+
+std::string_view to_string(Name name) {
+  switch (name) {
+    case Name::Send:
+      return "send";
+    case Name::Recv:
+      return "recv";
+    case Name::Write:
+      return "write";
+    case Name::Idle:
+      return "idle";
+    case Name::BlockEncode:
+      return "block_encode";
+    case Name::BlockDecode:
+      return "block_decode";
+    case Name::AckRound:
+      return "ack_round";
+    case Name::PktData:
+      return "pkt_data";
+    case Name::PktAck:
+      return "pkt_ack";
+    case Name::FaultDrop:
+      return "fault_drop";
+    case Name::FaultDuplicate:
+      return "fault_duplicate";
+    case Name::FaultLate:
+      return "fault_late";
+    case Name::FaultCorrupt:
+      return "fault_corrupt";
+  }
+  RSTP_UNREACHABLE("unknown trace name");
+}
+
+// ---------------------------------------------------------------------------
+// Buffer
+
+Buffer::Buffer(std::size_t capacity) : capacity_(capacity) {
+  RSTP_CHECK_GE(capacity, std::size_t{1}, "trace buffer needs a positive capacity");
+  records_.reserve(capacity_);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+namespace detail {
+
+std::atomic<Tracer*> host_sink{nullptr};
+
+void record_host_span(Phase phase, std::uint64_t start_ns, std::uint64_t end_ns) {
+  Tracer* tracer = host_sink.load(std::memory_order_acquire);
+  if (tracer == nullptr) return;
+  Record rec;
+  rec.kind = RecKind::HostSpan;
+  rec.track = Track::Host;
+  rec.start = static_cast<std::int64_t>(start_ns);
+  rec.dur = static_cast<std::int64_t>(end_ns - start_ns);
+  rec.arg = static_cast<std::uint64_t>(phase);
+  tracer->host_buffer_for_this_thread().append(rec);
+}
+
+}  // namespace detail
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// This thread's host-buffer cache, keyed by never-reused tracer id (the same
+/// pattern as the metrics registry shards): a stale entry for a destroyed
+/// tracer can never be mistaken for a live one.
+struct TlsBuf {
+  std::uint64_t tracer_id;
+  Buffer* buffer;
+};
+
+thread_local std::vector<TlsBuf> tls_host_buffers;
+
+[[nodiscard]] int pid_of(Track track) {
+  switch (track) {
+    case Track::Transmitter:
+      return 1;
+    case Track::Channel:
+      return 2;
+    case Track::Receiver:
+      return 3;
+    case Track::Host:
+      return 100;
+  }
+  RSTP_UNREACHABLE("unknown trace track");
+}
+
+}  // namespace
+
+Tracer::Tracer(TraceConfig config)
+    : config_(config), tracer_id_(next_tracer_id()), model_(config.capacity) {}
+
+Tracer::~Tracer() { detach_host_hook(); }
+
+void Tracer::attach_host_hook() {
+  Tracer* expected = nullptr;
+  RSTP_CHECK(detail::host_sink.compare_exchange_strong(expected, this,
+                                                       std::memory_order_acq_rel),
+             "another Tracer's host hook is already attached");
+  attached_ = true;
+}
+
+void Tracer::detach_host_hook() {
+  if (!attached_) return;
+  Tracer* expected = this;
+  detail::host_sink.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+  attached_ = false;
+}
+
+Buffer& Tracer::host_buffer_for_this_thread() {
+  for (const TlsBuf& entry : tls_host_buffers) {
+    if (entry.tracer_id == tracer_id_) return *entry.buffer;
+  }
+  const std::scoped_lock lock{mutex_};
+  host_buffers_.push_back(std::make_unique<Buffer>(config_.capacity));
+  Buffer& buffer = *host_buffers_.back();
+  tls_host_buffers.push_back(TlsBuf{tracer_id_, &buffer});
+  return buffer;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = model_.dropped();
+  const std::scoped_lock lock{mutex_};
+  for (const auto& buffer : host_buffers_) total += buffer->dropped();
+  return total;
+}
+
+std::uint64_t Tracer::host_span_count() const {
+  const std::scoped_lock lock{mutex_};
+  std::uint64_t total = 0;
+  for (const auto& buffer : host_buffers_) total += buffer->records().size();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome Trace Event Format export
+
+namespace {
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) { os_ << "{\"traceEvents\":[\n"; }
+
+  void meta(std::string_view what, int pid, std::optional<int> tid, std::string_view name) {
+    sep();
+    os_ << "{\"ph\":\"M\",\"name\":" << json_quote(what) << ",\"pid\":" << pid;
+    if (tid.has_value()) os_ << ",\"tid\":" << *tid;
+    os_ << ",\"args\":{\"name\":" << json_quote(name) << "}}";
+  }
+
+  void sep() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+  }
+
+  std::ostream& os() { return os_; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+[[nodiscard]] int model_tid(const Record& rec) {
+  return rec.track == Track::Channel ? static_cast<int>(rec.lane)
+                                     : static_cast<int>(rec.session);
+}
+
+void write_model_record(EventWriter& w, const Record& rec) {
+  std::ostream& os = w.os();
+  const int pid = pid_of(rec.track);
+  const int tid = model_tid(rec);
+  switch (rec.kind) {
+    case RecKind::ModelSpan: {
+      w.sep();
+      os << "{\"ph\":\"X\",\"name\":" << json_quote(to_string(rec.name))
+         << ",\"cat\":\"model\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"ts\":" << rec.start << ",\"dur\":" << rec.dur;
+      os << ",\"args\":{";
+      switch (rec.name) {
+        case Name::Send:
+        case Name::Recv:
+        case Name::PktData:
+        case Name::PktAck:
+          os << "\"payload\":" << rec.arg;
+          if (rec.has_flow) os << ",\"seq\":" << rec.flow_id;
+          break;
+        case Name::Write:
+          os << "\"bit\":" << rec.arg;
+          break;
+        case Name::BlockEncode:
+        case Name::BlockDecode:
+        case Name::AckRound:
+          os << "\"count\":" << rec.arg;
+          break;
+        case Name::FaultDrop:
+        case Name::FaultDuplicate:
+        case Name::FaultLate:
+        case Name::FaultCorrupt:
+          os << "\"payload\":" << rec.arg << ",\"seq\":" << rec.flow_id;
+          break;
+        case Name::Idle:
+          break;
+      }
+      os << "}}";
+      return;
+    }
+    case RecKind::FlowStart:
+      w.sep();
+      os << "{\"ph\":\"s\",\"name\":" << json_quote(to_string(rec.name))
+         << ",\"cat\":\"flow\",\"id\":" << rec.flow_id << ",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"ts\":" << rec.start << "}";
+      return;
+    case RecKind::FlowFinish:
+      w.sep();
+      os << "{\"ph\":\"f\",\"bp\":\"e\",\"name\":" << json_quote(to_string(rec.name))
+         << ",\"cat\":\"flow\",\"id\":" << rec.flow_id << ",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"ts\":" << rec.start << "}";
+      return;
+    case RecKind::HostSpan:
+      return;  // host spans never land in the model buffer
+  }
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  const std::scoped_lock lock{mutex_};
+  EventWriter w{os};
+
+  // Track metadata. Sessions/lanes actually used decide the thread rows.
+  bool lanes_used[256] = {};
+  std::vector<std::uint32_t> session_ids;
+  for (const Record& rec : model_.records()) {
+    if (rec.track == Track::Channel) {
+      lanes_used[rec.lane] = true;
+    } else if (rec.kind == RecKind::ModelSpan || rec.kind == RecKind::FlowStart ||
+               rec.kind == RecKind::FlowFinish) {
+      if (std::find(session_ids.begin(), session_ids.end(), rec.session) ==
+          session_ids.end()) {
+        session_ids.push_back(rec.session);
+      }
+    }
+  }
+  w.meta("process_name", pid_of(Track::Transmitter), std::nullopt, "model: transmitter");
+  w.meta("process_name", pid_of(Track::Channel), std::nullopt, "model: channel");
+  w.meta("process_name", pid_of(Track::Receiver), std::nullopt, "model: receiver");
+  for (const std::uint32_t session : session_ids) {
+    const std::string label = "session " + std::to_string(session);
+    w.meta("thread_name", pid_of(Track::Transmitter), static_cast<int>(session), label);
+    w.meta("thread_name", pid_of(Track::Receiver), static_cast<int>(session), label);
+  }
+  for (int lane = 0; lane < 256; ++lane) {
+    if (!lanes_used[lane]) continue;
+    w.meta("thread_name", pid_of(Track::Channel), lane,
+           lane == kFaultLane ? "faults" : "lane " + std::to_string(lane));
+  }
+
+  std::size_t host_span_count = 0;
+  std::int64_t host_base = std::numeric_limits<std::int64_t>::max();
+  for (const auto& buffer : host_buffers_) {
+    for (const Record& rec : buffer->records()) {
+      ++host_span_count;
+      host_base = std::min(host_base, rec.start);
+    }
+  }
+  if (host_span_count > 0) {
+    w.meta("process_name", pid_of(Track::Host), std::nullopt, "host: phase timers");
+    for (std::size_t i = 0; i < host_buffers_.size(); ++i) {
+      w.meta("thread_name", pid_of(Track::Host), static_cast<int>(i),
+             "thread " + std::to_string(i));
+    }
+  }
+
+  for (const Record& rec : model_.records()) write_model_record(w, rec);
+
+  // Host spans: rebase to the earliest span and convert ns → µs (Chrome's ts
+  // unit), keeping sub-µs precision as a fraction.
+  for (std::size_t i = 0; i < host_buffers_.size(); ++i) {
+    for (const Record& rec : host_buffers_[i]->records()) {
+      if (rec.arg >= kPhaseCount) continue;
+      w.sep();
+      os << "{\"ph\":\"X\",\"name\":"
+         << json_quote(obs::to_string(static_cast<Phase>(rec.arg)))
+         << ",\"cat\":\"host\",\"pid\":" << pid_of(Track::Host) << ",\"tid\":" << i
+         << ",\"ts\":" << json_number(static_cast<double>(rec.start - host_base) / 1000.0)
+         << ",\"dur\":" << json_number(static_cast<double>(rec.dur) / 1000.0) << "}";
+    }
+  }
+
+  std::uint64_t dropped_total = model_.dropped();
+  for (const auto& buffer : host_buffers_) dropped_total += buffer->dropped();
+  os << "\n],\"otherData\":{\"schema\":\"rstp-trace-v1\",\"tick\":\"1us\","
+     << "\"host_clock\":" << json_quote(to_string(host_clock_source()))
+     << ",\"dropped\":" << dropped_total << "}}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+
+Summary summarize(const Tracer& tracer) {
+  Summary s;
+  s.dropped = tracer.dropped();
+  s.host_spans = tracer.host_span_count();
+  constexpr std::size_t kDelayBuckets = 64;
+  std::array<std::uint64_t, kDelayBuckets> buckets{};
+  for (const Record& rec : tracer.model_buffer().records()) {
+    switch (rec.kind) {
+      case RecKind::ModelSpan:
+        ++s.model_spans;
+        if (rec.track == Track::Channel && rec.name == Name::PktData &&
+            rec.lane != kFaultLane) {
+          ++s.data_delivered;
+          const auto bucket = static_cast<std::size_t>(std::min<std::int64_t>(
+              std::max<std::int64_t>(rec.dur, 0), kDelayBuckets - 1));
+          ++buckets[bucket];
+        }
+        break;
+      case RecKind::FlowStart:
+      case RecKind::FlowFinish:
+        ++s.flow_events;
+        break;
+      case RecKind::HostSpan:
+        break;
+    }
+  }
+  if (s.data_delivered > 0) {
+    s.delay_p50 = static_cast<std::int64_t>(
+        nearest_rank_bucket(buckets.data(), buckets.size(), s.data_delivered, 50));
+    s.delay_p95 = static_cast<std::int64_t>(
+        nearest_rank_bucket(buckets.data(), buckets.size(), s.data_delivered, 95));
+    s.delay_p99 = static_cast<std::int64_t>(
+        nearest_rank_bucket(buckets.data(), buckets.size(), s.data_delivered, 99));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ModelRecorder
+
+namespace {
+constexpr std::size_t kMaxLanes = 64;
+
+[[nodiscard]] Track track_of(ioa::ProcessId id) {
+  return id == ioa::ProcessId::Transmitter ? Track::Transmitter : Track::Receiver;
+}
+
+[[nodiscard]] Name packet_name(const ioa::Packet& packet) {
+  return packet.direction == ioa::Packet::Direction::TransmitterToReceiver ? Name::PktData
+                                                                           : Name::PktAck;
+}
+
+[[nodiscard]] Name fault_name(fault::FaultKind kind) {
+  switch (kind) {
+    case fault::FaultKind::Drop:
+      return Name::FaultDrop;
+    case fault::FaultKind::Duplicate:
+      return Name::FaultDuplicate;
+    case fault::FaultKind::Late:
+      return Name::FaultLate;
+    case fault::FaultKind::Corrupt:
+      return Name::FaultCorrupt;
+  }
+  RSTP_UNREACHABLE("unknown fault kind");
+}
+}  // namespace
+
+ModelRecorder::ModelRecorder(Tracer& tracer, std::uint32_t session)
+    : tracer_(&tracer), buffer_(&tracer.model_buffer()), session_(session) {
+  lane_busy_until_.reserve(kMaxLanes);  // all swimlane growth preallocated
+}
+
+void ModelRecorder::close_idle(ProcessTrack& track, Track where) {
+  if (!track.idle_open) return;
+  Record rec;
+  rec.name = Name::Idle;
+  rec.track = where;
+  rec.session = session_;
+  rec.start = track.idle_start;
+  rec.dur = track.idle_last - track.idle_start;
+  buffer_->append(rec);
+  track.idle_open = false;
+}
+
+void ModelRecorder::note_counters(ioa::ProcessId id, std::int64_t at,
+                                  const ProtocolCounters* counters) {
+  if (counters == nullptr) return;
+  ProcessTrack& track = tracks_[static_cast<std::size_t>(id)];
+  if (counters->blocks_encoded > track.prev.blocks_encoded) {
+    Record rec;
+    rec.name = Name::BlockEncode;
+    rec.track = track_of(id);
+    rec.session = session_;
+    rec.start = block_open_ ? block_start_ : at;
+    rec.dur = at - rec.start;
+    rec.arg = counters->blocks_encoded;
+    buffer_->append(rec);
+    block_open_ = false;
+  }
+  if (counters->blocks_decoded > track.prev.blocks_decoded) {
+    Record rec;
+    rec.name = Name::BlockDecode;
+    rec.track = track_of(id);
+    rec.session = session_;
+    rec.start = at;
+    rec.arg = counters->blocks_decoded;
+    buffer_->append(rec);
+  }
+  if (counters->acks_sent > track.prev.acks_sent) {
+    Record rec;
+    rec.name = Name::AckRound;
+    rec.track = track_of(id);
+    rec.session = session_;
+    rec.start = at;
+    rec.arg = counters->acks_sent;
+    buffer_->append(rec);
+  }
+  track.prev = *counters;
+}
+
+void ModelRecorder::on_local_step(ioa::ProcessId id, Time at, const ioa::Action& action,
+                                  const ProtocolCounters* counters) {
+  ProcessTrack& track = tracks_[static_cast<std::size_t>(id)];
+  const Track where = track_of(id);
+  const std::int64_t t = at.ticks();
+  if (action.kind == ioa::ActionKind::Internal) {
+    if (!track.idle_open) {
+      track.idle_open = true;
+      track.idle_start = t;
+    }
+    track.idle_last = t;
+  } else {
+    close_idle(track, where);
+    if (action.kind == ioa::ActionKind::Write) {
+      Record rec;
+      rec.name = Name::Write;
+      rec.track = where;
+      rec.session = session_;
+      rec.start = t;
+      rec.arg = action.message;
+      buffer_->append(rec);
+    }
+    if (action.kind == ioa::ActionKind::Send && id == ioa::ProcessId::Transmitter &&
+        !block_open_) {
+      block_open_ = true;
+      block_start_ = t;
+    }
+  }
+  note_counters(id, t, counters);
+}
+
+void ModelRecorder::on_send(ioa::ProcessId id, Time at, const ioa::Packet& packet,
+                            std::uint64_t send_seq, bool entered_channel) {
+  const Track where = track_of(id);
+  const std::int64_t t = at.ticks();
+  Record span;
+  span.name = Name::Send;
+  span.track = where;
+  span.session = session_;
+  span.start = t;
+  span.arg = packet.payload;
+  span.flow_id = send_seq;
+  span.has_flow = entered_channel;
+  buffer_->append(span);
+  if (entered_channel) {
+    Record flow;
+    flow.kind = RecKind::FlowStart;
+    flow.name = packet_name(packet);
+    flow.track = where;
+    flow.session = session_;
+    flow.start = t;
+    flow.flow_id = send_seq;
+    flow.has_flow = true;
+    buffer_->append(flow);
+  }
+}
+
+std::uint8_t ModelRecorder::assign_lane(std::int64_t sent_at, std::int64_t deliver_at) {
+  // Deterministic greedy interval packing: the lowest lane free by sent_at,
+  // else a fresh lane (preallocated up to kMaxLanes), else the lane that
+  // frees up first (lowest index on ties). Zero-duration flights still
+  // occupy their instant so same-tick flights fan out across lanes.
+  const std::int64_t busy_until = deliver_at + (deliver_at == sent_at ? 1 : 0);
+  for (std::size_t i = 0; i < lane_busy_until_.size(); ++i) {
+    if (lane_busy_until_[i] <= sent_at) {
+      lane_busy_until_[i] = busy_until;
+      return static_cast<std::uint8_t>(i);
+    }
+  }
+  if (lane_busy_until_.size() < kMaxLanes) {
+    lane_busy_until_.push_back(busy_until);
+    return static_cast<std::uint8_t>(lane_busy_until_.size() - 1);
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < lane_busy_until_.size(); ++i) {
+    if (lane_busy_until_[i] < lane_busy_until_[best]) best = i;
+  }
+  lane_busy_until_[best] = busy_until;
+  return static_cast<std::uint8_t>(best);
+}
+
+void ModelRecorder::on_delivery(ioa::ProcessId dest, Time sent_at, Time deliver_at,
+                                const ioa::Packet& packet, std::uint64_t send_seq,
+                                const ProtocolCounters* dest_counters) {
+  const Track dest_track = track_of(dest);
+  const std::int64_t sent = sent_at.ticks();
+  const std::int64_t delivered = deliver_at.ticks();
+
+  Record recv;
+  recv.name = Name::Recv;
+  recv.track = dest_track;
+  recv.session = session_;
+  recv.start = delivered;
+  recv.arg = packet.payload;
+  recv.flow_id = send_seq;
+  recv.has_flow = true;
+  buffer_->append(recv);
+
+  Record finish;
+  finish.kind = RecKind::FlowFinish;
+  finish.name = packet_name(packet);
+  finish.track = dest_track;
+  finish.session = session_;
+  finish.start = delivered;
+  finish.flow_id = send_seq;
+  finish.has_flow = true;
+  buffer_->append(finish);
+
+  Record flight;
+  flight.name = packet_name(packet);
+  flight.track = Track::Channel;
+  flight.session = session_;
+  flight.start = sent;
+  flight.dur = delivered - sent;
+  flight.arg = packet.payload;
+  flight.flow_id = send_seq;
+  flight.has_flow = true;
+  flight.lane = assign_lane(sent, delivered);
+  buffer_->append(flight);
+
+  note_counters(dest, delivered, dest_counters);
+}
+
+void ModelRecorder::on_finish(Time end, const std::vector<fault::FaultEvent>& faults) {
+  close_idle(tracks_[0], Track::Transmitter);
+  close_idle(tracks_[1], Track::Receiver);
+  if (block_open_) {
+    // A block still being encoded when the run ended (event cap, faults):
+    // emit the open span so the truncation is visible on the timeline.
+    Record rec;
+    rec.name = Name::BlockEncode;
+    rec.track = Track::Transmitter;
+    rec.session = session_;
+    rec.start = block_start_;
+    rec.dur = end.ticks() - block_start_;
+    rec.arg = tracks_[0].prev.blocks_encoded + 1;
+    buffer_->append(rec);
+    block_open_ = false;
+  }
+  for (const fault::FaultEvent& fault : faults) {
+    Record rec;
+    rec.name = fault_name(fault.kind);
+    rec.track = Track::Channel;
+    rec.lane = kFaultLane;
+    rec.session = session_;
+    rec.start = fault.at.ticks();
+    rec.arg = fault.injected.payload;
+    rec.flow_id = fault.send_seq;
+    rec.has_flow = true;
+    buffer_->append(rec);
+  }
+}
+
+}  // namespace rstp::obs::trace

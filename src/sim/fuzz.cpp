@@ -297,7 +297,7 @@ void parallel_for_slots(std::size_t n, unsigned jobs,
 // ---------------------------------------------------------------------------
 // Single-case execution.
 
-FuzzCaseResult run_fuzz_case(const FuzzCase& c) {
+FuzzCaseResult run_fuzz_case(const FuzzCase& c, obs::trace::ModelRecorder* tracer) {
   c.params.validate();
   RSTP_CHECK_GE(c.k, 2u, "fuzz case needs k >= 2");
   RSTP_CHECK_GE(c.max_events, std::uint64_t{1}, "fuzz case needs a positive event cap");
@@ -345,6 +345,7 @@ FuzzCaseResult run_fuzz_case(const FuzzCase& c) {
   sim_config.max_events = c.max_events;
   sim_config.record_trace = true;
   sim_config.observer = [&](const ioa::TimedEvent& e) { seen.insert(fingerprint(e, t, r)); };
+  sim_config.tracer = tracer;
 
   RunResult run;
   bool completed = false;
@@ -736,9 +737,9 @@ FuzzRepro parse_fuzz_repro(std::istream& is) {
   malformed("missing 'end'", "");
 }
 
-ReplayOutcome replay_fuzz_repro(const FuzzRepro& repro) {
+ReplayOutcome replay_fuzz_repro(const FuzzRepro& repro, obs::trace::ModelRecorder* tracer) {
   ReplayOutcome outcome;
-  outcome.result = run_fuzz_case(repro.fuzz_case);
+  outcome.result = run_fuzz_case(repro.fuzz_case, tracer);
   const FuzzRepro got = make_fuzz_repro(repro.fuzz_case, outcome.result);
 
   const auto mismatch = [&](std::string_view field, auto got_v, auto want_v) {

@@ -5,6 +5,7 @@
 
 #include "rstp/common/check.h"
 #include "rstp/obs/metrics.h"
+#include "rstp/obs/trace.h"
 
 namespace rstp::sim {
 
@@ -32,6 +33,15 @@ Simulator::Simulator(ioa::Automaton& transmitter, ioa::Automaton& receiver,
   procs_[index_of(ProcessId::Transmitter)] = ProcessState{&transmitter, &transmitter_sched};
   procs_[index_of(ProcessId::Receiver)] = ProcessState{&receiver, &receiver_sched};
   record_events_ = config_.record_trace || static_cast<bool>(config_.observer);
+  for (const ProcessId id : {ProcessId::Transmitter, ProcessId::Receiver}) {
+    counter_sources_[index_of(id)] =
+        dynamic_cast<const obs::CounterSource*>(procs_[index_of(id)].automaton);
+  }
+}
+
+const obs::ProtocolCounters* Simulator::counters_of(ProcessId id) const {
+  const obs::CounterSource* source = counter_sources_[index_of(id)];
+  return source != nullptr ? &source->protocol_counters() : nullptr;
 }
 
 const core::TimingParams& Simulator::params_for(ProcessId id) const {
@@ -116,6 +126,11 @@ void Simulator::deliver_due(RunResult& result, Time now) {
       }
     }
     record(result, flight.deliver_at, Actor::Channel, recv);
+    if (config_.tracer != nullptr) {
+      config_.tracer->on_delivery(flight.packet.destination(), flight.sent_at,
+                                  flight.deliver_at, flight.packet, flight.send_seq,
+                                  counters_of(flight.packet.destination()));
+    }
     // A stopped process can be re-enabled by input; let it resume stepping.
     ProcessState& ps = procs_[index_of(flight.packet.destination())];
     if (ps.stopped) {
@@ -170,6 +185,9 @@ void Simulator::take_process_step(RunResult& result, ProcessState& ps, ProcessId
     ++ps.steps_taken;
   }
   record(result, ps.next_step, ioa::actor_of(id), *action);
+  if (config_.tracer != nullptr) {
+    config_.tracer->on_local_step(id, ps.next_step, *action, counters_of(id));
+  }
 
   if (action->kind == ActionKind::Send) {
     bool drop = false;
@@ -191,6 +209,11 @@ void Simulator::take_process_step(RunResult& result, ProcessState& ps, ProcessId
         ++result.dropped_packets;  // fault injection: packet lost outside the model
         ++counters.dropped;
       }
+    }
+    if (config_.tracer != nullptr) {
+      // total_sent() is the seq the channel will assign to this send; drops
+      // from drop_every_nth never reach the channel, so they carry no flow.
+      config_.tracer->on_send(id, ps.next_step, action->packet, channel_->total_sent(), !drop);
     }
     if (!drop) {
       const obs::ScopedPhaseTimer push_timer{obs::Phase::ChannelPush};
@@ -275,6 +298,9 @@ RunResult Simulator::run() {
       ++result.dropped_packets;
       ++result.metrics.counters.dropped;
     }
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->on_finish(result.end_time, result.faults);
   }
   return result;
 }

@@ -12,6 +12,17 @@ namespace {
 
 std::string cli() { return RSTP_CLI_PATH; }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::string content;
+  std::string line;
+  while (std::getline(in, line)) {
+    content += line;
+    content += '\n';
+  }
+  return content;
+}
+
 int run_command(const std::string& args, std::string* output = nullptr) {
   const std::string tmp = ::testing::TempDir() + "/cli_out.txt";
   const std::string command = cli() + " " + args + " > " + tmp + " 2>&1";
@@ -160,7 +171,7 @@ TEST(Cli, MetricsOutThenReportRoundTrip) {
 TEST(Cli, RunTimingPrintsThePhaseTable) {
   std::string out;
   EXPECT_EQ(run_command("run gamma 1 2 6 4 32 --timing", &out), 0);
-  EXPECT_NE(out.find("phase timing:"), std::string::npos) << out;
+  EXPECT_NE(out.find("phase timing (timer-pair overhead "), std::string::npos) << out;
   EXPECT_NE(out.find("sim_step"), std::string::npos) << out;
   // The nested breakdown rides along: sim-step time is attributed to named
   // children, with the unattributed remainder on a (self) line.
@@ -314,6 +325,58 @@ TEST(Cli, ModelErrorsSurfaceCleanly) {
   // c1 > c2 is a contract violation; the CLI must catch and report it.
   EXPECT_EQ(run_command("bounds 3 2 8 4", &out), 1);
   EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(Cli, RunWritesChromeTraceWithTraceOut) {
+  const std::string trace_json = ::testing::TempDir() + "/cli_span_trace.json";
+  std::remove(trace_json.c_str());
+  std::string out;
+  // Both --trace-out FILE and --trace-out=FILE spellings are accepted.
+  ASSERT_EQ(run_command("run beta 1 2 6 4 32 --seed 7 --trace-out=" + trace_json, &out), 0)
+      << out;
+  EXPECT_NE(out.find("trace-out:  written to"), std::string::npos) << out;
+  EXPECT_NE(out.find("flow events"), std::string::npos) << out;
+  const std::string content = read_file(trace_json);
+  ASSERT_FALSE(content.empty());
+  EXPECT_NE(content.find("\"schema\":\"rstp-trace-v1\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"s\""), std::string::npos);  // at least one flow start
+  EXPECT_NE(content.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(content.find("model: channel"), std::string::npos);
+  std::remove(trace_json.c_str());
+}
+
+TEST(Cli, ReplayWritesChromeTraceWithTraceOut) {
+  const std::string trace_json = ::testing::TempDir() + "/cli_replay_trace.json";
+  std::remove(trace_json.c_str());
+  std::string out;
+  // The golden repro records a failing verdict; replay exits 0 iff it
+  // reproduces bitwise — and the trace file captures the faulty timeline.
+  ASSERT_EQ(run_command(std::string("replay ") + RSTP_GOLDEN_REPRO_PATH + " --trace-out " +
+                            trace_json,
+                        &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("trace-out:  written to"), std::string::npos) << out;
+  const std::string content = read_file(trace_json);
+  ASSERT_FALSE(content.empty());
+  EXPECT_NE(content.find("\"schema\":\"rstp-trace-v1\""), std::string::npos);
+  std::remove(trace_json.c_str());
+}
+
+TEST(Cli, TimingReportsOverheadAndHonorsNoTscEnv) {
+  std::string out;
+  ASSERT_EQ(run_command("run beta 1 2 6 4 32 --timing", &out), 0) << out;
+  EXPECT_NE(out.find("timer-pair overhead"), std::string::npos) << out;
+  EXPECT_NE(out.find("net_ns"), std::string::npos) << out;
+
+  // RSTP_NO_TSC forces the steady_clock fallback; timing must still work.
+  const std::string tmp = ::testing::TempDir() + "/cli_notsc.txt";
+  const std::string command =
+      "RSTP_NO_TSC=1 " + cli() + " run beta 1 2 6 4 32 --timing > " + tmp + " 2>&1";
+  ASSERT_EQ(WEXITSTATUS(std::system(command.c_str())), 0);
+  const std::string content = read_file(tmp);
+  EXPECT_NE(content.find("clock: steady"), std::string::npos) << content;
+  std::remove(tmp.c_str());
 }
 
 }  // namespace

@@ -10,9 +10,13 @@
 //         --env worst|fast|random|adversarial   (default worst)
 //         --seed N                              (default 1)
 //         --trace FILE                          write the timed trace
+//         --trace-out FILE                      write a Chrome-trace/Perfetto
+//                                               span timeline (rstp-trace-v1)
 //         --stats                               print trace statistics
 //         --metrics-out FILE                    append the run's metrics (JSONL)
 //         --timing                              print wall-clock phase timings
+//                                               (raw and net of the measured
+//                                               timer-pair overhead)
 //
 //   rstp verify  <c1> <c2> <d> <tracefile> <bits>
 //       Check a saved trace against good(A) and the expected output.
@@ -66,10 +70,11 @@
 //                             growth, crash/failure counters); same TTY /
 //                             NO_COLOR / --no-dashboard fallback as campaign
 //
-//   rstp replay <reprofile>
+//   rstp replay <reprofile> [--trace-out FILE]
 //       Re-execute a repro document and compare every recorded field.
 //       Exit 0 iff the recorded verdict reproduces bitwise (even a failing
-//       verdict), 1 on any divergence.
+//       verdict), 1 on any divergence. --trace-out writes the replay's span
+//       timeline (Chrome-trace JSON) for post-mortem inspection in Perfetto.
 //
 // Exit code 0 on success/verified, 1 on failure, 2 on usage errors (including
 // malformed diff inputs and threshold specs), 3 on a tripped --fail-on gate.
@@ -93,6 +98,7 @@
 #include "rstp/obs/dashboard.h"
 #include "rstp/obs/diff.h"
 #include "rstp/obs/sinks.h"
+#include "rstp/obs/trace.h"
 #include "rstp/protocols/factory.h"
 #include "rstp/sim/campaign_bench.h"
 #include "rstp/sim/fuzz.h"
@@ -106,8 +112,8 @@ int usage() {
   std::cerr << "usage:\n"
                "  rstp bounds  <c1> <c2> <d> <k>\n"
                "  rstp run     <protocol> <c1> <c2> <d> <k> <n|bits>"
-               " [--env worst|fast|random|adversarial] [--seed N] [--trace FILE] [--stats]"
-               " [--metrics-out FILE] [--timing]\n"
+               " [--env worst|fast|random|adversarial] [--seed N] [--trace FILE]"
+               " [--trace-out FILE] [--stats] [--metrics-out FILE] [--timing]\n"
                "  rstp verify  <c1> <c2> <d> <tracefile> <bits>\n"
                "  rstp explore <protocol> <d> <k> <bits>\n"
                "  rstp bench   [--json PATH] [--threads N]... [--metrics-out FILE]\n"
@@ -120,7 +126,7 @@ int usage() {
                " [--metrics-out FILE] [--wait-override W] [--block-override B]"
                " [--max-events N] [--time-budget-ms N] [--keep-going]"
                " [--dashboard] [--no-dashboard]\n"
-               "  rstp replay  <reprofile>\n";
+               "  rstp replay  <reprofile> [--trace-out FILE]\n";
   return 2;
 }
 
@@ -215,6 +221,7 @@ int cmd_run(int argc, char** argv) {
   core::Environment env = core::Environment::worst_case();
   std::uint64_t seed = 1;
   std::string trace_file;
+  std::string trace_out_file;
   std::string metrics_file;
   bool want_stats = false;
   bool want_timing = false;
@@ -243,6 +250,10 @@ int cmd_run(int argc, char** argv) {
       env.seed = seed;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out_file = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out_file = arg.substr(std::string_view{"--trace-out="}.size());
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -263,8 +274,25 @@ int cmd_run(int argc, char** argv) {
                                                                        1, cfg.input.size())));
   }
 
-  if (want_timing) obs::set_phase_timing_enabled(true);
-  const core::ProtocolRun run = core::run_protocol(*kind, cfg, env);
+  std::uint64_t overhead_ns = 0;
+  if (want_timing) {
+    obs::set_phase_timing_enabled(true);
+    // The calibration loop spins real timer pairs; reset so the run's
+    // attribution starts clean (the overhead gauge survives the reset).
+    overhead_ns = obs::measure_phase_overhead_ns_per_pair();
+    obs::reset_phase_totals();
+  }
+  std::optional<obs::trace::Tracer> tracer;
+  std::optional<obs::trace::ModelRecorder> recorder;
+  if (!trace_out_file.empty()) {
+    tracer.emplace();
+    recorder.emplace(*tracer);
+    if (want_timing) tracer->attach_host_hook();
+  }
+  const core::ProtocolRun run =
+      core::run_protocol(*kind, cfg, env, /*record_trace=*/true, 50'000'000,
+                         recorder.has_value() ? &*recorder : nullptr);
+  if (tracer.has_value()) tracer->detach_host_hook();
   if (want_timing) obs::set_phase_timing_enabled(false);
   std::cout << "protocol:   " << protocols::to_string(*kind) << "\n"
             << "model:      " << cfg.params << " k=" << cfg.k << "\n"
@@ -284,9 +312,10 @@ int cmd_run(int argc, char** argv) {
     std::cout << core::compute_trace_stats(run.result.trace) << '\n';
   }
   if (want_timing) {
-    std::cout << "phase timing:\n";
+    std::cout << "phase timing (timer-pair overhead " << overhead_ns
+              << " ns, clock: " << to_string(host_clock_source()) << "):\n";
     const std::vector<obs::PhaseTotal> totals = obs::collect_phase_totals();
-    obs::print_phase_table(std::cout, totals);
+    obs::print_phase_table(std::cout, totals, overhead_ns);
     obs::print_phase_tree(std::cout, totals, obs::collect_phase_edge_totals());
   }
   if (!metrics_file.empty()) {
@@ -318,6 +347,20 @@ int cmd_run(int argc, char** argv) {
     ioa::write_trace(out, run.result.trace);
     std::cout << "trace:      written to " << trace_file << " (" << run.result.trace.size()
               << " events)\n";
+  }
+  if (tracer.has_value()) {
+    std::ofstream out{trace_out_file};
+    if (!out) {
+      std::cerr << "cannot open '" << trace_out_file << "'\n";
+      return 1;
+    }
+    tracer->write_chrome_json(out);
+    const obs::trace::Summary summary = obs::trace::summarize(*tracer);
+    std::cout << "trace-out:  written to " << trace_out_file << " (" << summary.model_spans
+              << " spans, " << summary.flow_events << " flow events, " << summary.host_spans
+              << " host spans, " << summary.dropped << " dropped, delay p50/p95/p99 "
+              << summary.delay_p50 << '/' << summary.delay_p95 << '/' << summary.delay_p99
+              << " ticks)\n";
   }
   return run.output_correct && verdict.ok() ? 0 : 1;
 }
@@ -816,14 +859,44 @@ int cmd_fuzz(int argc, char** argv) {
 }
 
 int cmd_replay(int argc, char** argv) {
-  if (argc != 3) return usage();
+  if (argc < 3) return usage();
+  std::string trace_out_file;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out_file = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out_file = arg.substr(std::string_view{"--trace-out="}.size());
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
   std::ifstream in{argv[2]};
   if (!in) {
     std::cerr << "cannot open '" << argv[2] << "'\n";
     return 1;
   }
   const sim::FuzzRepro repro = sim::parse_fuzz_repro(in);
-  const sim::ReplayOutcome outcome = sim::replay_fuzz_repro(repro);
+  std::optional<obs::trace::Tracer> tracer;
+  std::optional<obs::trace::ModelRecorder> recorder;
+  if (!trace_out_file.empty()) {
+    tracer.emplace();
+    recorder.emplace(*tracer);
+  }
+  const sim::ReplayOutcome outcome =
+      sim::replay_fuzz_repro(repro, recorder.has_value() ? &*recorder : nullptr);
+  if (tracer.has_value()) {
+    std::ofstream trace_out{trace_out_file};
+    if (!trace_out) {
+      std::cerr << "cannot open '" << trace_out_file << "'\n";
+      return 1;
+    }
+    tracer->write_chrome_json(trace_out);
+    const obs::trace::Summary summary = obs::trace::summarize(*tracer);
+    std::cout << "trace-out:  written to " << trace_out_file << " (" << summary.model_spans
+              << " spans, " << summary.flow_events << " flow events)\n";
+  }
   std::cout << "case:       " << protocols::to_string(repro.fuzz_case.protocol) << " "
             << repro.fuzz_case.params << " k=" << repro.fuzz_case.k << " bits="
             << repro.fuzz_case.input_bits << "\n"
