@@ -1,0 +1,89 @@
+#include "rstp/channel/synthesized.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "rstp/common/check.h"
+
+namespace rstp::channel {
+
+std::ostream& operator<<(std::ostream& os, const GenomeDefect& defect) {
+  return os << defect.field << '[' << defect.index << "]: " << defect.reason;
+}
+
+GenomeCheck check_genome(const ScheduleGenome& genome, const core::TimingParams& params) {
+  params.validate();
+  GenomeCheck check;
+  const auto defect = [&](std::string field, std::size_t index, std::string reason) {
+    check.defects.push_back(GenomeDefect{std::move(field), index, std::move(reason)});
+  };
+  const auto range_reason = [](std::string_view what, Duration got, Duration lo, Duration hi) {
+    std::ostringstream os;
+    os << what << ' ' << got.ticks() << " outside [" << lo.ticks() << ", " << hi.ticks() << ']';
+    return os.str();
+  };
+
+  if (genome.delays.empty()) {
+    defect("delays", 0, "table must not be empty");
+  }
+  for (std::size_t i = 0; i < genome.delays.size(); ++i) {
+    const Duration delay = genome.delays[i];
+    if (delay < Duration{0} || delay > params.d) {
+      defect("delays", i, range_reason("delay", delay, Duration{0}, params.d));
+    }
+  }
+  if (genome.order_keys.empty()) {
+    defect("order_keys", 0, "table must not be empty");
+  }
+  const auto check_first = [&](std::string field, Duration first) {
+    if (first < Duration{0} || first > params.c2) {
+      defect(std::move(field), 0, range_reason("first offset", first, Duration{0}, params.c2));
+    }
+  };
+  check_first("t_first", genome.t_first);
+  check_first("r_first", genome.r_first);
+  const auto check_gaps = [&](std::string_view field, const std::vector<Duration>& gaps) {
+    if (gaps.empty()) {
+      defect(std::string{field}, 0, "table must not be empty");
+      return;
+    }
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      if (gaps[i] < params.c1 || gaps[i] > params.c2) {
+        defect(std::string{field}, i, range_reason("gap", gaps[i], params.c1, params.c2));
+      }
+    }
+  };
+  check_gaps("t_gaps", genome.t_gaps);
+  check_gaps("r_gaps", genome.r_gaps);
+  return check;
+}
+
+void validate_genome(const ScheduleGenome& genome, const core::TimingParams& params) {
+  const GenomeCheck check = check_genome(genome, params);
+  if (check.ok()) return;
+  std::ostringstream os;
+  os << "illegal schedule genome (" << check.defects.size()
+     << " defect(s)); first: " << check.defects.front();
+  throw ModelError(os.str());
+}
+
+SynthesizedPolicy::SynthesizedPolicy(ScheduleGenome genome, const core::TimingParams& params)
+    : genome_(std::move(genome)) {
+  const GenomeCheck check = check_genome(genome_, params);
+  RSTP_CHECK(check.ok(), "SynthesizedPolicy requires a legal genome (see check_genome)");
+}
+
+Delivery SynthesizedPolicy::choose(const ioa::Packet& /*packet*/, Time sent_at, Time /*deadline*/,
+                                   std::uint64_t send_seq) {
+  Delivery delivery;
+  delivery.when = sent_at + genome_.delays[send_seq % genome_.delays.size()];
+  delivery.order_key = genome_.order_keys[send_seq % genome_.order_keys.size()];
+  return delivery;
+}
+
+std::unique_ptr<DeliveryPolicy> make_synthesized(ScheduleGenome genome,
+                                                 const core::TimingParams& params) {
+  return std::make_unique<SynthesizedPolicy>(std::move(genome), params);
+}
+
+}  // namespace rstp::channel

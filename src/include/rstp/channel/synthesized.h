@@ -1,0 +1,96 @@
+// Synthesized delivery schedules: the searchable half of the channel's
+// nondeterminism space.
+//
+// The hand-coded policies in policies.h are *points* in the space of legal
+// channel behaviours (Δ(C(P)) allows any per-packet delay in [0, d] and any
+// tie order). A ScheduleGenome is a finite, serializable *program* over that
+// space: cyclic tables of per-packet delays and tie-order keys, plus the two
+// processes' step-gap tables. The adversary synthesizer (sim/adversary.h)
+// mutates genomes hunting for effort maximizers; SynthesizedPolicy replays
+// the channel half of a genome bit-exactly.
+//
+// Legality is the paper's model, nothing more:
+//   * every delay ∈ [0, d]  — the timing property Δ(C(P)); because delays
+//     are bounded, every packet is delivered: the fairness/liveness half of
+//     C(P) (no packet is withheld forever) holds by construction.
+//   * every step gap ∈ [c1, c2] and first offsets ∈ [0, c2] — the process
+//     timing assumption the StepScheduler contract encodes.
+//
+// check_genome reports *all* defects as structured values (field, index,
+// reason) rather than throwing on the first — the property tests (P7) and
+// the CLI both want the full list; validate_genome is the throwing wrapper.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rstp/channel/channel.h"
+#include "rstp/core/params.h"
+
+namespace rstp::channel {
+
+/// A complete, finite description of one channel adversary plus the two
+/// process schedules it plays against. All tables are cyclic: packet
+/// `send_seq` takes delay `delays[send_seq % delays.size()]`, step i of the
+/// transmitter takes gap `t_gaps[i % t_gaps.size()]`, and so on. A genome is
+/// a pure value: equal genomes replay to bit-identical executions.
+struct ScheduleGenome {
+  std::vector<Duration> delays{Duration{0}};       ///< per-packet, ∈ [0, d]
+  std::vector<std::uint64_t> order_keys{0};        ///< per-packet tie order
+  Duration t_first{0};                             ///< transmitter first offset ∈ [0, c2]
+  Duration r_first{0};                             ///< receiver first offset ∈ [0, c2]
+  std::vector<Duration> t_gaps{Duration{1}};       ///< transmitter gaps, ∈ [c1, c2]
+  std::vector<Duration> r_gaps{Duration{1}};       ///< receiver gaps, ∈ [c1, c2]
+
+  friend bool operator==(const ScheduleGenome&, const ScheduleGenome&) = default;
+};
+
+/// One legality violation found in a genome: which table, which slot, why.
+struct GenomeDefect {
+  std::string field;      ///< "delays", "order_keys", "t_first", "r_first", "t_gaps", "r_gaps"
+  std::size_t index = 0;  ///< offending slot (0 for scalar fields)
+  std::string reason;     ///< human-readable constraint, with the values
+};
+
+std::ostream& operator<<(std::ostream& os, const GenomeDefect& defect);
+
+/// Full legality report for a genome against `params`.
+struct GenomeCheck {
+  std::vector<GenomeDefect> defects;
+  [[nodiscard]] bool ok() const { return defects.empty(); }
+};
+
+/// Checks every table entry against the paper's model (delays within [0, d],
+/// gaps within [c1, c2], first offsets within [0, c2], no empty tables).
+/// Never throws; collects all defects.
+[[nodiscard]] GenomeCheck check_genome(const ScheduleGenome& genome,
+                                       const core::TimingParams& params);
+
+/// Throwing wrapper: rstp::ModelError naming the first defect (and the total
+/// defect count) if the genome is illegal.
+void validate_genome(const ScheduleGenome& genome, const core::TimingParams& params);
+
+/// Replays the channel half of a legal genome: packet send_seq is delivered
+/// at sent_at + delays[send_seq % |delays|] with order_keys[send_seq %
+/// |order_keys|]. Construction validates the genome (ContractViolation on an
+/// illegal one) so the policy can never produce an out-of-window delivery.
+class SynthesizedPolicy final : public DeliveryPolicy {
+ public:
+  SynthesizedPolicy(ScheduleGenome genome, const core::TimingParams& params);
+
+  [[nodiscard]] Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
+                                std::uint64_t send_seq) override;
+
+  [[nodiscard]] const ScheduleGenome& genome() const { return genome_; }
+
+ private:
+  ScheduleGenome genome_;
+};
+
+[[nodiscard]] std::unique_ptr<DeliveryPolicy> make_synthesized(
+    ScheduleGenome genome, const core::TimingParams& params);
+
+}  // namespace rstp::channel

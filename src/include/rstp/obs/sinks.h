@@ -30,6 +30,11 @@ struct RunMetricsRecord {
   std::uint64_t input_bits = 0;
   std::uint64_t seed = 0;      ///< environment seed (0 for deterministic runs)
   double effort = 0;           ///< t(last-send)/n ticks per bit; 0 if nothing sent
+  /// Empirical effort / the matching theoretical lower bound (Theorem 5.3
+  /// for r-passive protocols, 5.6 for active ones). 0 when not applicable
+  /// (plain runs, fuzz cases) — absent in old JSONL files, which read back
+  /// as 0, keeping checked-in baselines parseable.
+  double gap_ratio = 0;
   std::int64_t end_time = 0;   ///< simulated time of the last event, ticks
   bool correct = false;
   bool quiescent = false;

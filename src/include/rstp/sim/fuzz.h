@@ -89,6 +89,14 @@ struct FuzzCaseResult {
   std::uint64_t coverage_hash = 0;  ///< order-independent fold of fingerprints
   std::vector<std::uint64_t> fingerprints;  ///< distinct, sorted
   std::uint64_t event_count = 0;
+  /// Effort bookkeeping (0 for invalid/crashed runs, or when the transmitter
+  /// never sent): t(last-send) in ticks, t(last-send)/|X| in ticks per bit,
+  /// and the model time of the last event. These feed the per-case
+  /// RunMetricsRecord stream so effort regressions trip the same
+  /// `rstp report --fail-on` gate as campaign perf regressions.
+  std::int64_t last_send = 0;
+  double effort = 0;
+  std::int64_t end_time = 0;
   obs::RunMetrics metrics;  ///< empty for invalid/crashed runs
 };
 
@@ -113,6 +121,10 @@ struct FuzzGenerationSnapshot {
   std::size_t coverage_gain = 0;  ///< fingerprints first reached this generation
   std::size_t crashes = 0;        ///< crashed cases so far (fail-stop or not)
   std::size_t failures = 0;       ///< tracked failures so far
+  /// Mutation-count draw width the *next* generation will breed with:
+  /// base 3, +1 per consecutive zero-gain generation (capped at +5), reset
+  /// to base by any gain. Deterministic fold-state, identical across jobs.
+  std::uint64_t mutation_rate = 3;
   double elapsed_seconds = 0;     ///< wall clock; observational only
   bool final_snapshot = false;
 };

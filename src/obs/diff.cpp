@@ -96,6 +96,7 @@ constexpr HistogramField kHistogramFields[] = {
   std::vector<Quantity> out;
   out.reserve(40);
   out.push_back(floating_quantity("effort", r.effort));
+  out.push_back(floating_quantity("gap_ratio", r.gap_ratio));
   out.push_back(integral_quantity("end_time", static_cast<std::uint64_t>(r.end_time)));
   out.push_back(integral_quantity("correct", r.correct ? 1 : 0));
   out.push_back(integral_quantity("quiescent", r.quiescent ? 1 : 0));
@@ -289,6 +290,10 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
   double new_effort_sum = 0;
   double old_effort_max = 0;
   double new_effort_max = 0;
+  double old_gap_sum = 0;
+  double new_gap_sum = 0;
+  double old_gap_max = 0;
+  double new_gap_max = 0;
   double old_delay_p[3] = {0, 0, 0};
   double new_delay_p[3] = {0, 0, 0};
 
@@ -309,6 +314,10 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
     new_effort_sum += new_record.effort;
     old_effort_max = std::max(old_effort_max, old_record->effort);
     new_effort_max = std::max(new_effort_max, new_record.effort);
+    old_gap_sum += old_record->gap_ratio;
+    new_gap_sum += new_record.gap_ratio;
+    old_gap_max = std::max(old_gap_max, old_record->gap_ratio);
+    new_gap_max = std::max(new_gap_max, new_record.gap_ratio);
     const double percentiles[3] = {50.0, 95.0, 99.0};
     for (std::size_t i = 0; i < 3; ++i) {
       const Histogram& old_h = old_record->metrics.data_delay;
@@ -356,6 +365,8 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
   const double matched = report.matched == 0 ? 1 : static_cast<double>(report.matched);
   add_floating("effort_mean", old_effort_sum / matched, new_effort_sum / matched);
   add_floating("effort_max", old_effort_max, new_effort_max);
+  add_floating("gap_ratio_mean", old_gap_sum / matched, new_gap_sum / matched);
+  add_floating("gap_ratio_max", old_gap_max, new_gap_max);
   add_floating("delay_p50", old_delay_p[0] / matched, new_delay_p[0] / matched);
   add_floating("delay_p95", old_delay_p[1] / matched, new_delay_p[1] / matched);
   add_floating("delay_p99", old_delay_p[2] / matched, new_delay_p[2] / matched);

@@ -80,7 +80,9 @@ void write_run_metrics_jsonl(std::ostream& os, const RunMetricsRecord& record) {
      << ",\"protocol\":" << json_quote(record.protocol) << ",\"c1\":" << record.c1
      << ",\"c2\":" << record.c2 << ",\"d\":" << record.d << ",\"k\":" << record.k
      << ",\"input_bits\":" << record.input_bits << ",\"seed\":" << record.seed
-     << ",\"effort\":" << json_number(record.effort) << ",\"end_time\":" << record.end_time
+     << ",\"effort\":" << json_number(record.effort)
+     << ",\"gap_ratio\":" << json_number(record.gap_ratio)
+     << ",\"end_time\":" << record.end_time
      << ",\"correct\":" << (record.correct ? "true" : "false")
      << ",\"quiescent\":" << (record.quiescent ? "true" : "false") << ",\"counters\":{"
      << "\"events\":" << c.events << ",\"data_sends\":" << c.data_sends
@@ -130,6 +132,8 @@ std::vector<RunMetricsRecord> read_run_metrics_jsonl(std::istream& is) {
       record.input_bits = doc.u64_or("input_bits", 0);
       record.seed = doc.u64_or("seed", 0);
       record.effort = doc.number_or("effort", 0);
+      // Absent in pre-adversary baselines; defaulting keeps them parseable.
+      record.gap_ratio = doc.number_or("gap_ratio", 0);
       record.end_time = doc.i64_or("end_time", 0);
       record.correct = doc.bool_or("correct", false);
       record.quiescent = doc.bool_or("quiescent", false);

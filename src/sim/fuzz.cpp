@@ -15,6 +15,7 @@
 #include "rstp/common/check.h"
 #include "rstp/common/rng.h"
 #include "rstp/core/effort.h"
+#include "rstp/sim/search_support.h"
 #include "rstp/sim/simulator.h"
 
 namespace rstp::sim {
@@ -23,60 +24,9 @@ namespace {
 
 using protocols::ProtocolKind;
 
-// ---------------------------------------------------------------------------
-// Fingerprints: a 64-bit digest of "where the protocol is" after one event.
-// Deliberately excludes raw times and seqs (every case would be all-new
-// coverage) and includes the action shape, the protocol automata's own
-// counters, and the output length (state the paper's proofs quantify over).
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-[[nodiscard]] std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
-  return (h ^ v) * kFnvPrime;
-}
-
-[[nodiscard]] std::uint64_t fingerprint(const ioa::TimedEvent& e,
-                                        const protocols::TransmitterBase& t,
-                                        const protocols::ReceiverBase& r) {
-  std::uint64_t h = kFnvOffset;
-  h = fnv_mix(h, static_cast<std::uint64_t>(e.actor));
-  h = fnv_mix(h, static_cast<std::uint64_t>(e.action.kind));
-  switch (e.action.kind) {
-    case ioa::ActionKind::Send:
-    case ioa::ActionKind::Recv:
-      h = fnv_mix(h, static_cast<std::uint64_t>(e.action.packet.direction));
-      h = fnv_mix(h, e.action.packet.payload);
-      break;
-    case ioa::ActionKind::Write:
-      h = fnv_mix(h, e.action.message);
-      break;
-    case ioa::ActionKind::Internal:
-      h = fnv_mix(h, e.action.internal_id);
-      break;
-  }
-  const obs::ProtocolCounters& tc = t.protocol_counters();
-  const obs::ProtocolCounters& rc = r.protocol_counters();
-  h = fnv_mix(h, tc.blocks_encoded);
-  h = fnv_mix(h, tc.acks_observed);
-  h = fnv_mix(h, tc.retransmissions);
-  h = fnv_mix(h, rc.blocks_decoded);
-  h = fnv_mix(h, rc.acks_sent);
-  h = fnv_mix(h, r.output().size());
-  return h;
-}
-
-[[nodiscard]] std::uint64_t hash_bits(const std::vector<ioa::Bit>& bits) {
-  std::uint64_t h = kFnvOffset;
-  for (const ioa::Bit b : bits) h = fnv_mix(h, b);
-  return h;
-}
-
-[[nodiscard]] std::uint64_t hash_sorted(const std::vector<std::uint64_t>& values) {
-  std::uint64_t h = kFnvOffset;
-  for (const std::uint64_t v : values) h = fnv_mix(h, v);
-  return h;
-}
+// Fingerprinting (event_fingerprint/hash_bits/hash_sorted) and the
+// generation-local work-stealing loop (parallel_for_slots) are shared with
+// the adversary synthesizer — see rstp/sim/search_support.h.
 
 [[nodiscard]] std::optional<ProtocolKind> protocol_from_string(std::string_view name) {
   for (const ProtocolKind kind : protocols::kAllProtocolKinds) {
@@ -89,44 +39,6 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
   std::ostringstream os;
   os << kind;
   return os.str();
-}
-
-// ---------------------------------------------------------------------------
-// Parallel slot evaluation: the campaign engine's work-stealing shape, local
-// to one generation. Workers claim indices and write disjoint slots; the
-// caller folds serially afterwards, so results are independent of `jobs`.
-
-void parallel_for_slots(std::size_t n, unsigned jobs,
-                        const std::function<void(std::size_t)>& fn) {
-  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
-  const auto workers =
-      static_cast<unsigned>(std::min<std::size_t>(jobs, std::max<std::size_t>(1, n)));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> cursor{0};
-  std::atomic<bool> died{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const auto worker = [&]() {
-    try {
-      while (!died.load(std::memory_order_relaxed)) {
-        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
-        fn(i);
-      }
-    } catch (...) {
-      const std::scoped_lock lock{error_mutex};
-      if (!first_error) first_error = std::current_exception();
-      died.store(true, std::memory_order_relaxed);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 // ---------------------------------------------------------------------------
@@ -154,6 +66,11 @@ void parallel_for_slots(std::size_t n, unsigned jobs,
   rates.corrupt_space = std::max(k, 2u);
   return rates;
 }
+
+/// Baseline width of the per-case mutation-count draw (1 + next_below(rate)).
+constexpr std::uint64_t kBaseMutationRate = 3;
+/// Cap on the stall-driven boost: rate never exceeds kBaseMutationRate + 5.
+constexpr std::uint64_t kMaxMutationBoost = 5;
 
 /// The canonical starting points: a few timing shapes with seeds derived
 /// from (spec.seed, variant). Everything else comes from mutation.
@@ -184,9 +101,14 @@ void parallel_for_slots(std::size_t n, unsigned jobs,
   return c;
 }
 
-[[nodiscard]] FuzzCase mutate(const FuzzCase& parent, Rng& rng, const FuzzSpec& spec) {
+/// `boost` widens the mutation-count draw when the corpus has stalled
+/// (consecutive zero-gain generations); at boost 0 the draw — and therefore
+/// the whole RNG stream — is identical to the historical fixed-rate fuzzer,
+/// so golden hunts that never stall are unchanged.
+[[nodiscard]] FuzzCase mutate(const FuzzCase& parent, Rng& rng, const FuzzSpec& spec,
+                              std::uint64_t boost) {
   FuzzCase c = parent;
-  const std::uint64_t mutations = 1 + rng.next_below(3);
+  const std::uint64_t mutations = 1 + rng.next_below(kBaseMutationRate + boost);
   for (std::uint64_t m = 0; m < mutations; ++m) {
     switch (rng.next_below(c.faults_enabled ? 10 : 7)) {
       case 0:
@@ -344,7 +266,9 @@ FuzzCaseResult run_fuzz_case(const FuzzCase& c, obs::trace::ModelRecorder* trace
   sim_config.params = c.params;
   sim_config.max_events = c.max_events;
   sim_config.record_trace = true;
-  sim_config.observer = [&](const ioa::TimedEvent& e) { seen.insert(fingerprint(e, t, r)); };
+  sim_config.observer = [&](const ioa::TimedEvent& e) {
+    seen.insert(event_fingerprint(e, t, r));
+  };
   sim_config.tracer = tracer;
 
   RunResult run;
@@ -374,6 +298,12 @@ FuzzCaseResult run_fuzz_case(const FuzzCase& c, obs::trace::ModelRecorder* trace
   out.quiescent = run.quiescent;
   out.event_count = run.event_count;
   out.metrics = run.metrics;
+  out.end_time = run.end_time.ticks();
+  if (run.last_transmitter_send.has_value() && !config.input.empty()) {
+    out.last_send = run.last_transmitter_send->ticks();
+    out.effort = static_cast<double>(out.last_send) /
+                 static_cast<double>(config.input.size());
+  }
   out.output_hash = hash_bits(run.output);
   const core::FaultVerifyReport report =
       core::verify_trace_with_faults(run.trace, c.params, config.input, run.faults);
@@ -418,6 +348,14 @@ FuzzResult run_fuzz(const FuzzSpec& spec) {
            static_cast<std::int64_t>(spec.time_budget_ms);
   };
 
+  // Mutation-rate self-tuning: each generation that folds in zero new
+  // coverage bumps `stall`; any gain resets it. The next generation's
+  // mutation-count draw widens to kBaseMutationRate + min(stall, cap), so a
+  // plateaued corpus automatically explores bigger jumps. Pure fold-state:
+  // deterministic across `jobs` like everything else here.
+  std::uint64_t stall = 0;
+  const auto mutation_boost = [&]() { return std::min(stall, kMaxMutationBoost); };
+
   // Display-only hunt progress. Published from the serial fold points, so
   // attaching on_generation cannot perturb the deterministic result state.
   std::uint64_t generation = 0;
@@ -433,6 +371,7 @@ FuzzResult run_fuzz(const FuzzSpec& spec) {
     snap.coverage_gain = coverage_gain;
     snap.crashes = crashes;
     snap.failures = res.failures.size();
+    snap.mutation_rate = kBaseMutationRate + mutation_boost();
     snap.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     snap.final_snapshot = final_snapshot;
@@ -465,7 +404,13 @@ FuzzResult run_fuzz(const FuzzSpec& spec) {
         res.corpus_results.push_back(r);
       }
     }
-    emit_snapshot(seen.size() - coverage_before, /*final_snapshot=*/false);
+    const std::size_t coverage_gain = seen.size() - coverage_before;
+    if (coverage_gain == 0) {
+      ++stall;
+    } else {
+      stall = 0;
+    }
+    emit_snapshot(coverage_gain, /*final_snapshot=*/false);
     ++generation;
 
     if (!res.failures.empty() && spec.stop_on_failure) break;
@@ -485,7 +430,7 @@ FuzzResult run_fuzz(const FuzzSpec& spec) {
       const FuzzCase parent = res.corpus.empty()
                                   ? base_case(spec, b)
                                   : res.corpus[rng.next_below(res.corpus.size())];
-      round.push_back(mutate(parent, rng, spec));
+      round.push_back(mutate(parent, rng, spec, mutation_boost()));
     }
     planned += batch;
   }

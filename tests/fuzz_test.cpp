@@ -8,7 +8,9 @@
 // End-to-end failure discovery lives in fuzz_repro_test.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "rstp/channel/channel.h"
 #include "rstp/channel/policies.h"
@@ -358,6 +360,64 @@ TEST(RunFuzz, CorpusSeedsAreExecutedFirst) {
   const sim::FuzzResult result = sim::run_fuzz(spec);
   EXPECT_EQ(result.executed, 5u);
   EXPECT_TRUE(result.ok());
+}
+
+TEST(RunFuzz, StalledCorpusRaisesTheMutationRateDeterministically) {
+  // Self-tuning pin: a tiny search space saturates coverage fast, and once
+  // generations stop gaining fingerprints the breeding draw must widen —
+  // base 3, +1 per consecutive zero-gain generation, capped at +5 — purely
+  // as a function of the fold sequence, so identical across jobs.
+  sim::FuzzSpec spec;
+  spec.protocol = protocols::ProtocolKind::Alpha;
+  spec.k = 2;
+  spec.max_input_bits = 2;
+  spec.seed = 7;
+  spec.budget = 640;
+  spec.stop_on_failure = false;
+
+  struct Tick {
+    std::uint64_t generation;
+    std::size_t coverage_gain;
+    std::uint64_t mutation_rate;
+  };
+  const auto collect = [&spec](unsigned jobs) {
+    sim::FuzzSpec s = spec;
+    s.jobs = jobs;
+    std::vector<Tick> ticks;
+    s.on_generation = [&ticks](const sim::FuzzGenerationSnapshot& snap) {
+      if (!snap.final_snapshot) {
+        ticks.push_back({snap.generation, snap.coverage_gain, snap.mutation_rate});
+      }
+    };
+    (void)sim::run_fuzz(s);
+    return ticks;
+  };
+
+  const std::vector<Tick> serial = collect(1);
+  ASSERT_FALSE(serial.empty());
+  std::uint64_t stall = 0;
+  std::uint64_t widest = 0;
+  for (const Tick& t : serial) {
+    if (t.coverage_gain == 0) {
+      ++stall;
+    } else {
+      stall = 0;
+    }
+    EXPECT_EQ(t.mutation_rate, 3 + std::min<std::uint64_t>(stall, 5))
+        << "generation " << t.generation;
+    widest = std::max(widest, t.mutation_rate);
+  }
+  // The pin itself: the space is small enough that the hunt *does* stall,
+  // so the rate demonstrably rises above the base.
+  EXPECT_GT(widest, 3u);
+
+  const std::vector<Tick> parallel = collect(3);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].generation, serial[i].generation);
+    EXPECT_EQ(parallel[i].coverage_gain, serial[i].coverage_gain);
+    EXPECT_EQ(parallel[i].mutation_rate, serial[i].mutation_rate);
+  }
 }
 
 TEST(RunFuzz, InvalidGenomesAreSkippedNotFailed) {

@@ -12,10 +12,16 @@
 //   P6  Safety under faults: fault-free fuzzed schedules satisfy P1–P3, and
 //       with fault injection on, the verifier never reports a safety
 //       violation that is not preceded by an injected-fault event.
+//   P7  Synthesized schedules: every randomly generated legal ScheduleGenome
+//       passes the legality checker and drives correct, quiescent in-model
+//       runs; every illegal genome is rejected with a structured defect
+//       naming the offending field and slot.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "rstp/channel/synthesized.h"
+#include "rstp/common/check.h"
 #include "rstp/common/rng.h"
 #include "rstp/core/bounds.h"
 #include "rstp/core/effort.h"
@@ -24,6 +30,7 @@
 #include "rstp/protocols/factory.h"
 #include "rstp/sim/campaign.h"
 #include "rstp/sim/campaign_bench.h"
+#include "rstp/sim/adversary.h"
 #include "rstp/sim/fuzz.h"
 #include "support/gen.h"
 
@@ -283,6 +290,114 @@ TEST(SafetyUnderFaults, NoSafetyViolationWithoutAPrecedingFault) {
             << "unexcused safety violation: " << v;
       }
     }
+  }
+}
+
+/// A uniformly random *legal* genome for `params`: every table entry drawn
+/// from exactly the interval the model allows.
+channel::ScheduleGenome random_legal_genome(Rng& rng, const TimingParams& params) {
+  channel::ScheduleGenome g;
+  const auto fill = [&](std::vector<Duration>& table, std::int64_t lo, std::int64_t hi) {
+    table.clear();
+    const auto len = static_cast<std::size_t>(rng.next_in(1, 6));
+    for (std::size_t i = 0; i < len; ++i) table.push_back(Duration{rng.next_in(lo, hi)});
+  };
+  fill(g.delays, 0, params.d.ticks());
+  g.order_keys.clear();
+  const auto keys = static_cast<std::size_t>(rng.next_in(1, 6));
+  for (std::size_t i = 0; i < keys; ++i) g.order_keys.push_back(rng.next_below(64));
+  g.t_first = Duration{rng.next_in(0, params.c2.ticks())};
+  g.r_first = Duration{rng.next_in(0, params.c2.ticks())};
+  fill(g.t_gaps, params.c1.ticks(), params.c2.ticks());
+  fill(g.r_gaps, params.c1.ticks(), params.c2.ticks());
+  return g;
+}
+
+TEST(SynthesizedSchedules, RandomLegalGenomesPassTheCheckerAndRunInModel) {
+  // P7, first half: any genome whose entries respect the model's intervals
+  // is (a) accepted by check_genome and (b) an environment the paper's
+  // protocols handle — correct, quiescent runs, exactly like any other
+  // point of good(A).
+  Rng rng{9091};
+  for (const auto kind : protocols::kPaperProtocolKinds) {
+    for (int i = 0; i < 8; ++i) {
+      SCOPED_TRACE(std::string(protocols::to_string(kind)) + " i=" + std::to_string(i));
+      const TimingParams params = random_params(rng);
+      const channel::ScheduleGenome genome = random_legal_genome(rng, params);
+      const channel::GenomeCheck check = channel::check_genome(genome, params);
+      ASSERT_TRUE(check.ok()) << check.defects.size() << " defects, first: "
+                              << (check.defects.empty() ? "" : check.defects[0].reason);
+
+      sim::AdversaryCell cell;
+      cell.protocol = kind;
+      cell.params = params;
+      cell.k = static_cast<std::uint32_t>(rng.next_in(2, 8));
+      cell.input_bits = static_cast<std::uint32_t>(rng.next_in(1, 24));
+      const sim::GenomeEval eval = sim::evaluate_genome(cell, rng.next_u64(), genome);
+      EXPECT_TRUE(eval.valid);
+      EXPECT_TRUE(eval.correct);    // P1 + P2: Y == X
+      EXPECT_TRUE(eval.quiescent);  // P2: terminates
+    }
+  }
+}
+
+TEST(SynthesizedSchedules, IllegalGenomesAreRejectedWithStructuredDefects) {
+  // P7, second half: one mutation past each boundary, each reported against
+  // the right field and slot — and every illegal genome is collectively
+  // rejected by the throwing wrapper and the policy constructor.
+  const TimingParams params = TimingParams::make(2, 3, 9);
+  const channel::ScheduleGenome legal{{Duration{4}}, {0}, Duration{1}, Duration{2},
+                                      {Duration{2}}, {Duration{3}}};
+  ASSERT_TRUE(channel::check_genome(legal, params).ok());
+
+  struct Break {
+    const char* field;
+    std::size_t index;
+    channel::ScheduleGenome genome;
+  };
+  std::vector<Break> breaks;
+  {
+    channel::ScheduleGenome g = legal;
+    g.delays = {Duration{0}, Duration{10}};  // d + 1, slot 1
+    breaks.push_back({"delays", 1, g});
+  }
+  {
+    channel::ScheduleGenome g = legal;
+    g.delays = {Duration{-1}};
+    breaks.push_back({"delays", 0, g});
+  }
+  {
+    channel::ScheduleGenome g = legal;
+    g.t_gaps = {Duration{2}, Duration{1}};  // below c1, slot 1
+    breaks.push_back({"t_gaps", 1, g});
+  }
+  {
+    channel::ScheduleGenome g = legal;
+    g.r_gaps = {Duration{4}};  // above c2
+    breaks.push_back({"r_gaps", 0, g});
+  }
+  {
+    channel::ScheduleGenome g = legal;
+    g.t_first = Duration{4};  // above c2
+    breaks.push_back({"t_first", 0, g});
+  }
+  {
+    channel::ScheduleGenome g = legal;
+    g.order_keys.clear();  // empty table
+    breaks.push_back({"order_keys", 0, g});
+  }
+
+  for (const Break& b : breaks) {
+    SCOPED_TRACE(b.field);
+    const channel::GenomeCheck check = channel::check_genome(b.genome, params);
+    ASSERT_FALSE(check.ok());
+    bool named = false;
+    for (const channel::GenomeDefect& defect : check.defects) {
+      if (defect.field == b.field && defect.index == b.index) named = true;
+    }
+    EXPECT_TRUE(named) << "no defect names " << b.field << "[" << b.index << "]";
+    EXPECT_THROW(channel::validate_genome(b.genome, params), ModelError);
+    EXPECT_THROW(channel::SynthesizedPolicy(b.genome, params), ContractViolation);
   }
 }
 

@@ -70,11 +70,31 @@
 //                             growth, crash/failure counters); same TTY /
 //                             NO_COLOR / --no-dashboard fallback as campaign
 //
+//   rstp adversary [options]
+//       Coverage-guided adversary synthesis (docs/TESTING.md): per grid cell,
+//       search the space of legal delivery schedules and process step plans
+//       for an effort maximizer, and report the empirical gap to the paper's
+//       Theorem 5.3/5.6 lower bounds. Generation 0 always contains the
+//       hand-coded worst case, so best >= hand on every cell unless the
+//       search itself regressed — exit 1 in that case.
+//         --grid golden|quick   16-cell baseline grid / 4-cell smoke grid
+//         --budget N            genome evaluations per cell (default 64)
+//         --jobs N              worker threads (default 1; 0 = hardware);
+//                               the result is bitwise identical for any value
+//         --seed N              master seed (default 1)
+//         --max-events N        per-run event cap (default 200000)
+//         --repro-out FILE      write the max-gap cell's winning genome as a
+//                               replayable rstp-adversary-v1 artifact
+//         --metrics-out FILE    append one JSONL row per cell (gap_ratio
+//                               feeds `rstp report --fail-on 'gap_ratio_max>…'`)
+//
 //   rstp replay <reprofile> [--trace-out FILE]
-//       Re-execute a repro document and compare every recorded field.
+//       Re-execute a repro document (rstp-fuzz-repro-v1 or rstp-adversary-v1,
+//       sniffed from the header line) and compare every recorded field.
 //       Exit 0 iff the recorded verdict reproduces bitwise (even a failing
 //       verdict), 1 on any divergence. --trace-out writes the replay's span
-//       timeline (Chrome-trace JSON) for post-mortem inspection in Perfetto.
+//       timeline (Chrome-trace JSON) for post-mortem inspection in Perfetto
+//       (fuzz repros only).
 //
 // Exit code 0 on success/verified, 1 on failure, 2 on usage errors (including
 // malformed diff inputs and threshold specs), 3 on a tripped --fail-on gate.
@@ -82,6 +102,7 @@
 #include <charconv>
 #include <cstring>
 #include <filesystem>
+#include <iomanip>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -100,6 +121,7 @@
 #include "rstp/obs/sinks.h"
 #include "rstp/obs/trace.h"
 #include "rstp/protocols/factory.h"
+#include "rstp/sim/adversary.h"
 #include "rstp/sim/campaign_bench.h"
 #include "rstp/sim/fuzz.h"
 
@@ -126,6 +148,8 @@ int usage() {
                " [--metrics-out FILE] [--wait-override W] [--block-override B]"
                " [--max-events N] [--time-budget-ms N] [--keep-going]"
                " [--dashboard] [--no-dashboard]\n"
+               "  rstp adversary [--grid golden|quick] [--budget N] [--jobs N]"
+               " [--seed N] [--max-events N] [--repro-out FILE] [--metrics-out FILE]\n"
                "  rstp replay  <reprofile> [--trace-out FILE]\n";
   return 2;
 }
@@ -710,6 +734,8 @@ int cmd_report(int argc, char** argv) {
   record.k = c.k;
   record.input_bits = c.input_bits;
   record.seed = c.input_seed;
+  record.effort = r.effort;
+  record.end_time = r.end_time;
   record.correct = !r.failed && !r.crashed;
   record.quiescent = r.quiescent;
   record.metrics = r.metrics;
@@ -858,6 +884,142 @@ int cmd_fuzz(int argc, char** argv) {
   return 1;
 }
 
+int cmd_adversary(int argc, char** argv) {
+  sim::AdversarySpec spec;
+  spec.grid = sim::golden_adversary_grid();
+  std::string repro_file;
+  std::string metrics_file;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take_number = [&](auto& slot) {
+      if (i + 1 >= argc) return false;
+      const auto parsed =
+          parse_number<std::remove_reference_t<decltype(slot)>>(argv[++i]);
+      if (!parsed.has_value()) return false;
+      slot = *parsed;
+      return true;
+    };
+    if (arg == "--seed") {
+      if (!take_number(spec.seed)) return bad_number("--seed", argv[i]);
+    } else if (arg == "--budget") {
+      if (!take_number(spec.budget)) return bad_number("--budget", argv[i]);
+    } else if (arg == "--jobs") {
+      if (!take_number(spec.jobs)) return bad_number("--jobs", argv[i]);
+    } else if (arg == "--max-events") {
+      if (!take_number(spec.max_events)) return bad_number("--max-events", argv[i]);
+    } else if (arg == "--grid" && i + 1 < argc) {
+      const std::string grid = argv[++i];
+      if (grid == "golden") {
+        spec.grid = sim::golden_adversary_grid();
+      } else if (grid == "quick") {
+        spec.grid = sim::quick_adversary_grid();
+      } else {
+        std::cerr << "unknown grid '" << grid << "' (want golden or quick)\n";
+        return 2;
+      }
+    } else if (arg == "--repro-out" && i + 1 < argc) {
+      repro_file = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  spec.on_cell = [](const sim::AdversaryProgress& progress) {
+    std::cerr << "adversary: cell " << (progress.cell_index + 1) << "/" << progress.cell_count
+              << " done\n";
+  };
+  const sim::AdversaryResult result = sim::run_adversary_search(spec);
+
+  std::cout << "adversary synthesis: " << result.cells.size() << " cells, budget "
+            << spec.budget << "/cell, seed " << spec.seed << ", jobs " << spec.jobs
+            << " (result hash " << result.result_hash << ")\n";
+  std::cout << std::left << std::setw(8) << "proto" << std::right << std::setw(4) << "c1"
+            << std::setw(4) << "c2" << std::setw(4) << "d" << std::setw(4) << "k"
+            << std::setw(10) << "bound" << std::setw(10) << "hand" << std::setw(10) << "best"
+            << std::setw(11) << "gap_ratio" << "  verdict\n";
+  for (const sim::AdversaryCellResult& cell : result.cells) {
+    std::cout << std::left << std::setw(8) << protocols::to_string(cell.cell.protocol)
+              << std::right << std::setw(4) << cell.cell.params.c1.ticks() << std::setw(4)
+              << cell.cell.params.c2.ticks() << std::setw(4) << cell.cell.params.d.ticks()
+              << std::setw(4) << cell.cell.k << std::setw(10) << std::fixed
+              << std::setprecision(3) << cell.lower_bound << std::setw(10) << cell.hand_effort
+              << std::setw(10) << cell.best.effort << std::setw(11) << cell.gap_ratio << "  "
+              << (cell.beats_hand() ? "best>=hand" : "BELOW HAND") << "\n";
+  }
+
+  if (!metrics_file.empty()) {
+    const std::vector<obs::RunMetricsRecord> records =
+        sim::adversary_metrics_records(result, spec.seed);
+    if (!append_metrics_jsonl(metrics_file, records)) {
+      std::cerr << "cannot open '" << metrics_file << "'\n";
+      return 1;
+    }
+    std::cout << "metrics:   appended " << records.size() << " rows to " << metrics_file
+              << "\n";
+  }
+
+  if (!repro_file.empty()) {
+    // The most interesting witness: the cell with the largest empirical gap.
+    const auto widest = std::max_element(
+        result.cells.begin(), result.cells.end(),
+        [](const auto& a, const auto& b) { return a.gap_ratio < b.gap_ratio; });
+    std::ofstream out{repro_file};
+    if (!out) {
+      std::cerr << "cannot open '" << repro_file << "'\n";
+      return 1;
+    }
+    sim::write_adversary_repro(out, sim::make_adversary_repro(*widest, spec.max_events));
+    std::cout << "repro:     written to " << repro_file << " (rstp replay " << repro_file
+              << ")\n";
+  }
+
+  if (!result.all_beat_hand()) {
+    std::cerr << "adversary search fell below the hand-coded policy on some cell\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Replays an rstp-adversary-v1 artifact (cmd_replay dispatches here after
+/// sniffing the header line).
+int replay_adversary_file(std::ifstream& in, const std::string& path) {
+  const sim::AdversaryRepro repro = sim::parse_adversary_repro(in);
+  const sim::AdversaryReplayOutcome outcome = sim::replay_adversary_repro(repro);
+  std::cout << "case:       " << protocols::to_string(repro.cell.protocol) << " "
+            << repro.cell.params << " k=" << repro.cell.k << " bits="
+            << repro.cell.input_bits << " (adversary genome)\n"
+            << "effort:     " << std::fixed << std::setprecision(3) << outcome.eval.effort
+            << " (last_send " << outcome.eval.last_send << ", "
+            << (outcome.eval.correct ? "correct" : "INCORRECT") << ", "
+            << (outcome.eval.quiescent ? "quiescent" : "event-capped") << ")\n";
+  if (outcome.reproduced) {
+    std::cout << "reproduced: yes (all recorded fields match bitwise)\n";
+    return 0;
+  }
+  std::cout << "reproduced: NO — " << outcome.mismatch << "\n";
+  (void)path;
+  return 1;
+}
+
+/// First non-blank, non-comment line of a file (empty if none) — used to
+/// sniff which artifact grammar a replay file speaks.
+[[nodiscard]] std::string sniff_header_line(const std::string& path) {
+  std::ifstream in{path};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::size_t first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = raw.find_last_not_of(" \t\r");
+    return raw.substr(first, last - first + 1);
+  }
+  return {};
+}
+
 int cmd_replay(int argc, char** argv) {
   if (argc < 3) return usage();
   std::string trace_out_file;
@@ -876,6 +1038,13 @@ int cmd_replay(int argc, char** argv) {
   if (!in) {
     std::cerr << "cannot open '" << argv[2] << "'\n";
     return 1;
+  }
+  if (sniff_header_line(argv[2]) == sim::adversary_repro_header()) {
+    if (!trace_out_file.empty()) {
+      std::cerr << "--trace-out is not supported for adversary artifacts\n";
+      return 2;
+    }
+    return replay_adversary_file(in, argv[2]);
   }
   const sim::FuzzRepro repro = sim::parse_fuzz_repro(in);
   std::optional<obs::trace::Tracer> tracer;
@@ -929,6 +1098,7 @@ int main(int argc, char** argv) {
     if (command == "campaign") return cmd_campaign(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
     if (command == "fuzz") return cmd_fuzz(argc, argv);
+    if (command == "adversary") return cmd_adversary(argc, argv);
     if (command == "replay") return cmd_replay(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
