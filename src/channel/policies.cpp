@@ -1,5 +1,7 @@
 #include "rstp/channel/policies.h"
 
+#include <algorithm>
+
 #include "rstp/common/check.h"
 
 namespace rstp::channel {
@@ -58,6 +60,20 @@ Delivery AdversarialBatchPolicy::choose(const ioa::Packet& packet, Time sent_at,
   return Delivery{batch_time, key};
 }
 
+DriftingDelayPolicy::DriftingDelayPolicy(core::DriftSpec spec, Duration max_delay)
+    : spec_(std::move(spec)), max_delay_(max_delay) {
+  spec_.validate();
+  RSTP_CHECK(!spec_.empty(), "drifting delay policy requires a non-empty spec");
+  RSTP_CHECK(!max_delay_.is_negative(), "max delay must be non-negative");
+}
+
+Delivery DriftingDelayPolicy::choose(const ioa::Packet& /*packet*/, Time sent_at,
+                                     Time /*deadline*/, std::uint64_t /*send_seq*/) {
+  const core::DriftSpec::Segment& seg = spec_.segment_at(sent_at);
+  const Duration delay{std::clamp<std::int64_t>(seg.d_eff.ticks(), 0, max_delay_.ticks())};
+  return Delivery{sent_at + delay, 0};
+}
+
 std::unique_ptr<DeliveryPolicy> make_zero_delay() { return std::make_unique<ZeroDelayPolicy>(); }
 
 std::unique_ptr<DeliveryPolicy> make_fixed_delay(Duration delay) {
@@ -69,6 +85,10 @@ std::unique_ptr<DeliveryPolicy> make_max_delay() { return std::make_unique<MaxDe
 std::unique_ptr<DeliveryPolicy> make_uniform_random(std::uint64_t seed, Duration lo, Duration hi,
                                                     Duration max_delay) {
   return std::make_unique<UniformRandomPolicy>(Rng{seed}, lo, hi, max_delay);
+}
+
+std::unique_ptr<DeliveryPolicy> make_drifting_delay(core::DriftSpec spec, Duration max_delay) {
+  return std::make_unique<DriftingDelayPolicy>(std::move(spec), max_delay);
 }
 
 std::unique_ptr<DeliveryPolicy> make_adversarial_batch(Duration window, Duration max_delay,

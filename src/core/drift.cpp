@@ -1,0 +1,124 @@
+#include "rstp/core/drift.h"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "rstp/common/check.h"
+
+namespace rstp::core {
+namespace {
+
+/// Whole-token integer parse; throws DriftParseError naming `token` (the full
+/// segment text) when `field` is not a plain decimal integer.
+std::int64_t parse_field(std::string_view field, std::string_view token, const char* what) {
+  std::int64_t value = 0;
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || field.empty()) {
+    std::ostringstream msg;
+    msg << what << " is not a decimal integer";
+    throw DriftParseError(msg.str(), std::string(token));
+  }
+  return value;
+}
+
+}  // namespace
+
+const DriftSpec::Segment& DriftSpec::segment_at(Time t) const {
+  RSTP_CHECK(!segments.empty(), "segment_at on an empty drift spec");
+  const Segment* active = &segments.front();
+  for (const Segment& seg : segments) {
+    if (seg.start > t) break;
+    active = &seg;
+  }
+  return *active;
+}
+
+void DriftSpec::validate() const {
+  if (segments.empty()) return;
+  RSTP_CHECK(segments.front().start == Time::zero(),
+             "drift spec must start its first segment at time 0");
+  Time prev = segments.front().start;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const Segment& seg = segments[i];
+    if (i > 0) {
+      RSTP_CHECK(seg.start > prev, "drift segment starts must be strictly increasing");
+      prev = seg.start;
+    }
+    RSTP_CHECK(!seg.d_eff.is_negative(), "drift segment d_eff must be non-negative");
+    if (seg.c2_eff.has_value()) {
+      RSTP_CHECK(seg.c2_eff->ticks() > 0, "drift segment c2_eff must be positive");
+    }
+  }
+}
+
+DriftSpec DriftSpec::parse(std::string_view text) {
+  DriftSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view token =
+        text.substr(pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos);
+    if (token.empty()) {
+      throw DriftParseError("empty drift segment (expected start:d[:c2])", std::string(token));
+    }
+    // Split the segment into 2 or 3 colon-separated fields.
+    std::size_t a = token.find(':');
+    if (a == std::string_view::npos) {
+      throw DriftParseError("drift segment needs at least start:d", std::string(token));
+    }
+    std::size_t b = token.find(':', a + 1);
+    const std::string_view start_text = token.substr(0, a);
+    const std::string_view d_text =
+        token.substr(a + 1, b == std::string_view::npos ? std::string_view::npos : b - a - 1);
+    Segment seg;
+    seg.start = Time{parse_field(start_text, token, "segment start")};
+    seg.d_eff = Duration{parse_field(d_text, token, "segment d")};
+    if (b != std::string_view::npos) {
+      const std::string_view c2_text = token.substr(b + 1);
+      if (c2_text.find(':') != std::string_view::npos) {
+        throw DriftParseError("drift segment has more than three fields", std::string(token));
+      }
+      seg.c2_eff = Duration{parse_field(c2_text, token, "segment c2")};
+    }
+    if (seg.start.ticks() < 0) {
+      throw DriftParseError("segment start must be non-negative", std::string(token));
+    }
+    if (seg.d_eff.is_negative()) {
+      throw DriftParseError("segment d must be non-negative", std::string(token));
+    }
+    if (seg.c2_eff.has_value() && seg.c2_eff->ticks() <= 0) {
+      throw DriftParseError("segment c2 must be positive", std::string(token));
+    }
+    if (spec.segments.empty()) {
+      if (seg.start != Time::zero()) {
+        throw DriftParseError("first segment must start at 0", std::string(token));
+      }
+    } else if (seg.start <= spec.segments.back().start) {
+      throw DriftParseError("segment starts must be strictly increasing", std::string(token));
+    }
+    spec.segments.push_back(seg);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string DriftSpec::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (i > 0) os << ',';
+    os << segments[i].start.ticks() << ':' << segments[i].d_eff.ticks();
+    if (segments[i].c2_eff.has_value()) os << ':' << segments[i].c2_eff->ticks();
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const DriftSpec& spec) {
+  return os << spec.to_string();
+}
+
+}  // namespace rstp::core

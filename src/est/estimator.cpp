@@ -1,0 +1,126 @@
+#include "rstp/est/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rstp/channel/channel.h"
+#include "rstp/common/check.h"
+
+namespace rstp::est {
+
+void EstimatorConfig::validate() const {
+  RSTP_CHECK(margin >= 0.0 && margin < 1.0, "estimator margin must be in [0, 1)");
+  RSTP_CHECK(gain > 0.0 && gain <= 1.0, "estimator gain must be in (0, 1]");
+  RSTP_CHECK(var_gain > 0.0 && var_gain <= 1.0, "estimator var_gain must be in (0, 1]");
+  RSTP_CHECK(max_block >= 1, "estimator max_block must be at least 1");
+}
+
+TimingEstimator::TimingEstimator(EstimatorConfig config) : config_(config) {
+  config_.validate();
+}
+
+void TimingEstimator::observe_gap(Duration gap) {
+  RSTP_CHECK(!gap.is_negative(), "estimator observed a negative step gap");
+  const auto sample = static_cast<double>(gap.ticks());
+  if (!have_gap_) {
+    have_gap_ = true;
+    min_gap_ = gap.ticks();
+    gap_srtt_ = sample;
+    gap_var_ = sample / 2.0;  // RFC 6298 first-sample seeding
+  } else {
+    min_gap_ = std::min(min_gap_, gap.ticks());
+    gap_var_ += config_.var_gain * (std::abs(gap_srtt_ - sample) - gap_var_);
+    gap_srtt_ += config_.gain * (sample - gap_srtt_);
+  }
+  ++gap_samples_;
+}
+
+void TimingEstimator::observe_delay(Duration delay) {
+  RSTP_CHECK(!delay.is_negative(), "estimator observed a negative delivery delay");
+  const auto sample = static_cast<double>(delay.ticks());
+  if (!have_delay_) {
+    have_delay_ = true;
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+  } else {
+    rttvar_ += config_.var_gain * (std::abs(srtt_ - sample) - rttvar_);
+    srtt_ += config_.gain * (sample - srtt_);
+  }
+  ++delay_samples_;
+}
+
+core::TimingParams TimingEstimator::estimate() const {
+  // The clamp chain below is the legality proof: each line lower-bounds the
+  // next quantity by the previous one, so 1 <= c1 <= c2 <= d holds for any
+  // sample history (including adversarial drift).
+  std::int64_t c1 = 1;
+  if (have_gap_) {
+    c1 = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::floor(static_cast<double>(min_gap_) * (1.0 - config_.margin))));
+  }
+  std::int64_t c2 = c1;
+  if (have_gap_) {
+    c2 = std::max<std::int64_t>(
+        c1, std::llround((gap_srtt_ + 4.0 * gap_var_) * (1.0 + config_.margin)));
+  }
+  std::int64_t d = c2;
+  if (have_delay_) {
+    d = std::max<std::int64_t>(d,
+                               std::llround((srtt_ + 4.0 * rttvar_) * (1.0 + config_.margin)));
+  }
+  return core::TimingParams{Duration{c1}, Duration{c2}, Duration{d}};
+}
+
+std::uint64_t TimingEstimator::outstanding() const {
+  return channel_ == nullptr ? 0 : channel_->in_flight();
+}
+
+BlockPlanner::BlockPlanner(Discipline discipline, std::uint32_t k, std::vector<ioa::Bit> input,
+                           std::shared_ptr<TimingEstimator> estimator)
+    : discipline_(discipline), k_(k), input_(std::move(input)), estimator_(std::move(estimator)) {
+  RSTP_CHECK(k_ >= 2, "planner alphabet must have at least two symbols");
+  RSTP_CHECK(estimator_ != nullptr, "planner requires an estimator");
+}
+
+bool BlockPlanner::has_block(std::size_t j) const {
+  if (j == 0) return !input_.empty();
+  RSTP_CHECK(j - 1 < plans_.size(), "has_block(j) requires plan(j-1) to be computed");
+  const BlockPlan& prev = plans_[j - 1];
+  return prev.first_bit + prev.bits < input_.size();
+}
+
+const BlockPlan& BlockPlanner::plan(std::size_t j) {
+  RSTP_CHECK(j <= plans_.size(), "plans are computed sequentially");
+  if (j < plans_.size()) return plans_[j];
+  RSTP_CHECK(has_block(j), "plan(j) requested past the end of the input");
+
+  const core::TimingParams est = estimator_->estimate();
+  const std::int64_t raw =
+      discipline_ == Discipline::TimedBlocks ? est.delta1_wait() : est.delta2();
+  const auto delta = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+      raw, 1, static_cast<std::int64_t>(estimator_->config().max_block)));
+
+  BlockPlan p;
+  p.delta = delta;
+  p.wait = discipline_ == Discipline::TimedBlocks ? delta : 0;
+  p.first_bit = plans_.empty() ? 0 : plans_.back().first_bit + plans_.back().bits;
+
+  auto [it, inserted] = coders_.try_emplace(delta, nullptr);
+  if (inserted) it->second = std::make_shared<const combinatorics::BlockCoder>(k_, delta);
+  p.coder = it->second;
+
+  p.bits = std::min(p.coder->bits_per_block(), input_.size() - p.first_bit);
+  // Each block is encoded independently: its slice of X zero-padded to the
+  // coder's block width. Only the final block can carry padding.
+  std::vector<ioa::Bit> padded(input_.begin() + static_cast<std::ptrdiff_t>(p.first_bit),
+                               input_.begin() + static_cast<std::ptrdiff_t>(p.first_bit + p.bits));
+  padded.resize(p.coder->bits_per_block(), 0);
+  p.symbols = p.coder->encode(padded);
+
+  if (!plans_.empty() && plans_.back().delta != delta) ++resizes_;
+  plans_.push_back(std::move(p));
+  return plans_.back();
+}
+
+}  // namespace rstp::est

@@ -1,0 +1,155 @@
+#include "rstp/est/runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "rstp/channel/policies.h"
+#include "rstp/common/check.h"
+#include "rstp/common/rng.h"
+#include "rstp/obs/metrics.h"
+#include "rstp/sim/scheduler.h"
+#include "rstp/sim/simulator.h"
+
+namespace rstp::est {
+
+namespace {
+
+/// Global-registry slots the estimator reports into (naming scheme in
+/// docs/OBSERVABILITY.md). Gauges are high-water marks over the process, so
+/// a campaign's merged view shows the largest estimate any cell converged to.
+struct MetricsRegistryIds {
+  obs::MetricsRegistry::MetricId runs = obs::global_registry().counter("est/runs");
+  obs::MetricsRegistry::MetricId c1_hat = obs::global_registry().gauge("est/c1_hat");
+  obs::MetricsRegistry::MetricId c2_hat = obs::global_registry().gauge("est/c2_hat");
+  obs::MetricsRegistry::MetricId d_hat = obs::global_registry().gauge("est/d_hat");
+  obs::MetricsRegistry::MetricId gap_samples =
+      obs::global_registry().counter("est/gap_samples");
+  obs::MetricsRegistry::MetricId delay_samples =
+      obs::global_registry().counter("est/delay_samples");
+  obs::MetricsRegistry::MetricId resizes = obs::global_registry().counter("est/resizes");
+};
+
+void publish_gauges(const obs::EstimatorGauges& g) {
+  const MetricsRegistryIds ids;
+  obs::MetricsRegistry& reg = obs::global_registry();
+  reg.add(ids.runs);
+  reg.gauge_max(ids.c1_hat, static_cast<std::uint64_t>(g.c1_hat));
+  reg.gauge_max(ids.c2_hat, static_cast<std::uint64_t>(g.c2_hat));
+  reg.gauge_max(ids.d_hat, static_cast<std::uint64_t>(g.d_hat));
+  reg.add(ids.gap_samples, g.gap_samples);
+  reg.add(ids.delay_samples, g.delay_samples);
+  reg.add(ids.resizes, g.resizes);
+}
+
+double effort_ticks(const core::ProtocolRun& run) {
+  if (!run.result.last_transmitter_send.has_value()) return 0;
+  return static_cast<double>((*run.result.last_transmitter_send - Time::zero()).ticks());
+}
+
+}  // namespace
+
+EstimatedRun run_estimated(protocols::ProtocolKind kind, const protocols::ProtocolConfig& config,
+                           const core::Environment& env, const core::DriftSpec& drift,
+                           bool estimator_enabled, const EstimatorConfig& est_config,
+                           bool record_trace, std::uint64_t max_events,
+                           obs::trace::ModelRecorder* tracer) {
+  protocols::ProtocolConfig local = config;
+  std::shared_ptr<TimingEstimator> estimator;
+  std::shared_ptr<BlockPlanner> planner;
+  if (estimator_enabled) {
+    RSTP_CHECK(kind == protocols::ProtocolKind::Beta || kind == protocols::ProtocolKind::Gamma,
+               "the estimator supports only beta and gamma");
+    estimator = std::make_shared<TimingEstimator>(est_config);
+    planner = std::make_shared<BlockPlanner>(kind == protocols::ProtocolKind::Beta
+                                                 ? BlockPlanner::Discipline::TimedBlocks
+                                                 : BlockPlanner::Discipline::AckedBlocks,
+                                             local.k, local.input, estimator);
+    local.planner = planner;
+  }
+  protocols::ProtocolInstance instance = protocols::make_protocol(kind, local);
+
+  // Always burn the three per-run seeds in core::run_protocol's order so the
+  // env.seed stream is consumed identically with or without a drift spec —
+  // the oracle/estimated halves of a pair must face the same environment.
+  Rng seeder{env.seed};
+  const std::uint64_t t_seed = seeder.next_u64();
+  const std::uint64_t r_seed = seeder.next_u64();
+  const std::uint64_t chan_seed = seeder.next_u64();
+
+  std::unique_ptr<sim::StepScheduler> t_sched;
+  std::unique_ptr<sim::StepScheduler> r_sched;
+  std::unique_ptr<channel::DeliveryPolicy> policy;
+  if (drift.empty()) {
+    t_sched = core::make_scheduler(env.transmitter_sched, local.params, t_seed);
+    r_sched = core::make_scheduler(env.receiver_sched, local.params, r_seed);
+    policy = core::make_delivery_policy(env.delay, local.params, chan_seed);
+  } else {
+    t_sched = sim::make_drifting_scheduler(drift, local.params);
+    r_sched = sim::make_drifting_scheduler(drift, local.params);
+    policy = channel::make_drifting_delay(drift, local.params.d);
+  }
+  channel::Channel chan{local.params.d, std::move(policy)};
+  if (estimator != nullptr) estimator->attach_channel(&chan);
+
+  sim::SimConfig sim_config;
+  sim_config.params = local.params;
+  sim_config.record_trace = record_trace;
+  sim_config.max_events = max_events;
+  sim_config.tracer = tracer;
+  sim_config.estimator = estimator.get();
+
+  sim::Simulator simulator{*instance.transmitter, *instance.receiver, chan, *t_sched, *r_sched,
+                           sim_config};
+  EstimatedRun out;
+  out.run.result = simulator.run();
+  out.run.output_correct = out.run.result.output == local.input;
+  if (estimator != nullptr) {
+    const core::TimingParams estimate = estimator->estimate();
+    out.gauges.c1_hat = estimate.c1.ticks();
+    out.gauges.c2_hat = estimate.c2.ticks();
+    out.gauges.d_hat = estimate.d.ticks();
+    out.gauges.gap_samples = estimator->gap_samples();
+    out.gauges.delay_samples = estimator->delay_samples();
+    out.gauges.resizes = planner->resizes();
+    publish_gauges(out.gauges);
+  }
+  return out;
+}
+
+PenaltyRun run_penalty_pair(protocols::ProtocolKind kind,
+                            const protocols::ProtocolConfig& config,
+                            const core::Environment& env, const core::DriftSpec& drift,
+                            const EstimatorConfig& est_config, std::uint64_t max_events) {
+  PenaltyRun out;
+  out.oracle = run_estimated(kind, config, env, drift, /*estimator_enabled=*/false, est_config,
+                             /*record_trace=*/false, max_events)
+                   .run;
+  out.estimated = run_estimated(kind, config, env, drift, /*estimator_enabled=*/true, est_config,
+                                /*record_trace=*/false, max_events);
+  const double oracle_ticks = effort_ticks(out.oracle);
+  if (oracle_ticks > 0) {
+    out.est_penalty = effort_ticks(out.estimated.run) / oracle_ticks;
+  }
+  return out;
+}
+
+sim::CampaignSpec golden_estimator_spec() {
+  sim::CampaignSpec spec;
+  spec.protocols = {protocols::ProtocolKind::Beta, protocols::ProtocolKind::Gamma};
+  spec.timings = {core::TimingParams::make(1, 2, 6), core::TimingParams::make(2, 3, 9)};
+  spec.alphabets = {4, 8};
+  spec.environments = {core::Environment::worst_case()};
+  spec.seeds_per_cell = 1;
+  spec.input_bits = 256;
+  spec.campaign_seed = 0xE57;
+  spec.estimator_enabled = true;
+  // Margin 0: worst_case realizes gaps exactly at c2 and delays exactly at d,
+  // so the pinned expectation is exact convergence, not a padded envelope.
+  spec.estimator.margin = 0.0;
+  // Breakpoints at 250 and 600 land inside every cell's run (the shortest
+  // grid cell finishes around tick 760), exercising re-convergence both ways.
+  spec.drifts = {core::DriftSpec{}, core::DriftSpec::parse("0:9,250:4,600:7")};
+  return spec;
+}
+
+}  // namespace rstp::est

@@ -19,6 +19,7 @@
 
 #include "rstp/channel/channel.h"
 #include "rstp/common/rng.h"
+#include "rstp/core/drift.h"
 
 namespace rstp::channel {
 
@@ -83,12 +84,30 @@ class AdversarialBatchPolicy final : public DeliveryPolicy {
   BatchOrder order_;
 };
 
+class DriftingDelayPolicy final : public DeliveryPolicy {
+ public:
+  /// Delay follows a core::DriftSpec: a packet sent at t takes the segment's
+  /// d_eff, clamped into [0, max_delay] so a drifting run never leaves the
+  /// envelope the verifier checks (the spec's breakpoints are what the
+  /// online estimator has to chase). FIFO within a segment (order_key 0).
+  /// Requires a non-empty, valid spec.
+  DriftingDelayPolicy(core::DriftSpec spec, Duration max_delay);
+  [[nodiscard]] Delivery choose(const ioa::Packet& packet, Time sent_at, Time deadline,
+                                std::uint64_t send_seq) override;
+
+ private:
+  core::DriftSpec spec_;
+  Duration max_delay_;
+};
+
 /// Convenience factories.
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_zero_delay();
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_fixed_delay(Duration delay);
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_max_delay();
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_uniform_random(std::uint64_t seed, Duration lo,
                                                                   Duration hi, Duration max_delay);
+[[nodiscard]] std::unique_ptr<DeliveryPolicy> make_drifting_delay(core::DriftSpec spec,
+                                                                  Duration max_delay);
 [[nodiscard]] std::unique_ptr<DeliveryPolicy> make_adversarial_batch(
     Duration window, Duration max_delay,
     AdversarialBatchPolicy::BatchOrder order = AdversarialBatchPolicy::BatchOrder::AscendingPayload);

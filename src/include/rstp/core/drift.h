@@ -1,0 +1,78 @@
+// Scripted channel drift: the "constants" (d, and optionally c2) change
+// mid-run at fixed breakpoints.
+//
+// The paper's model hands every protocol a single (c1, c2, d) for the whole
+// execution. Real links drift: a route change shortens d, load stretches the
+// step rate. A DriftSpec is a piecewise-constant schedule of *effective*
+// values — each segment says "from time t on, deliveries take d_eff and
+// steps arrive every c2_eff". The drifting scheduler/delivery-policy pair
+// (sim/scheduler.h, channel/policies.h) clamps every effective value into
+// the run's declared envelope [c1, c2] / [0, d], so a drifting execution is
+// still inside good(A) for the envelope parameters: the verifier needs no
+// excusal machinery, and one spec is legal against every envelope. What
+// drifts is the *realized* channel the online estimator (rstp::est) sees —
+// the adversary the self-tuning layer has to chase.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rstp/common/time.h"
+
+namespace rstp::core {
+
+/// A malformed drift specification, carrying the offending token so callers
+/// can name it in usage errors (same shape as obs::ThresholdParseError).
+class DriftParseError : public std::runtime_error {
+ public:
+  DriftParseError(const std::string& message, std::string token)
+      : std::runtime_error(message), token_(std::move(token)) {}
+  [[nodiscard]] const std::string& token() const { return token_; }
+
+ private:
+  std::string token_;
+};
+
+/// A piecewise-constant schedule of effective channel values.
+struct DriftSpec {
+  struct Segment {
+    Time start{};                     ///< segment begins at this instant
+    Duration d_eff{};                 ///< effective delivery delay from start on
+    std::optional<Duration> c2_eff;   ///< effective step gap (unset: envelope c2)
+
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
+  std::vector<Segment> segments;  ///< by construction: first at 0, strictly increasing
+
+  [[nodiscard]] bool empty() const { return segments.empty(); }
+
+  /// The segment governing instant `t` (the last segment whose start <= t).
+  /// Requires a non-empty spec.
+  [[nodiscard]] const Segment& segment_at(Time t) const;
+
+  /// Throws rstp::ContractViolation unless the first segment starts at 0,
+  /// starts are strictly increasing, and every d_eff is non-negative (c2_eff,
+  /// when set, positive). Envelope legality is NOT checked here — effective
+  /// values are clamped into the envelope at run time, so one spec serves
+  /// every timing point of a grid.
+  void validate() const;
+
+  /// Parses "start:d[:c2],start:d[:c2],..." (e.g. "0:9,250:4,600:7").
+  /// Throws DriftParseError naming the offending segment or field on any
+  /// malformed token; the result is validated.
+  [[nodiscard]] static DriftSpec parse(std::string_view text);
+
+  /// The inverse of parse (canonical form; empty string for an empty spec).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DriftSpec&, const DriftSpec&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const DriftSpec& spec);
+
+}  // namespace rstp::core

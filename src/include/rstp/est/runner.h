@@ -1,0 +1,79 @@
+// Estimator-aware run drivers: the est-layer mirror of core::run_protocol.
+//
+// run_estimated() builds the same simulator stack as core::run_protocol but
+// optionally (a) replaces the environment's schedulers/delivery policy with a
+// core::DriftSpec-driven pair — scripted mid-run breakpoints, clamped so the
+// execution stays in good(A) for the envelope — and (b) threads a
+// TimingEstimator + BlockPlanner through ProtocolConfig so A^β/A^γ re-plan
+// block sizes from live (ĉ1, ĉ2, d̂) estimates.
+//
+// run_penalty_pair() runs a cell twice in the SAME environment — once with
+// the oracle constants, once estimator-driven — and reports
+// est_penalty = effort_est / effort_oracle, the quantity the golden grid and
+// the diff gate track (`--fail-on 'est_penalty_max>5%'`). Note the penalty
+// can legitimately be below 1: under a SlowFixed environment ĉ1 converges to
+// the realized gap c2, which legally shrinks β's timed blocks relative to the
+// worst-case oracle plan.
+//
+// Seed-stream parity: run_estimated always draws the three per-run seeds
+// (transmitter scheduler, receiver scheduler, delivery policy) in exactly
+// core::run_protocol's order, even when a drifting spec ignores them, so the
+// oracle and estimated halves of a pair — and drifting and stationary cells
+// sharing a campaign seed — consume env.seed identically.
+#pragma once
+
+#include <cstdint>
+
+#include "rstp/core/drift.h"
+#include "rstp/core/effort.h"
+#include "rstp/est/estimator.h"
+#include "rstp/sim/campaign.h"
+
+namespace rstp::est {
+
+/// One estimator-aware run: the protocol outcome plus the estimator's final
+/// gauges (zero when the estimator was disabled).
+struct EstimatedRun {
+  core::ProtocolRun run;
+  obs::EstimatorGauges gauges;
+};
+
+/// Mirror of core::run_protocol with a drift axis and an optional estimator.
+/// An empty `drift` keeps the environment's own schedulers/policy; a
+/// non-empty one substitutes DriftingSpecScheduler for both processes and
+/// DriftingDelayPolicy for the channel. With `estimator_enabled` the run uses
+/// the adaptive A^β/A^γ variants (kind must be Beta or Gamma) and publishes
+/// its final gauges to the global metrics registry (est/* slots).
+[[nodiscard]] EstimatedRun run_estimated(protocols::ProtocolKind kind,
+                                         const protocols::ProtocolConfig& config,
+                                         const core::Environment& env,
+                                         const core::DriftSpec& drift, bool estimator_enabled,
+                                         const EstimatorConfig& est_config = EstimatorConfig{},
+                                         bool record_trace = true,
+                                         std::uint64_t max_events = 50'000'000,
+                                         obs::trace::ModelRecorder* tracer = nullptr);
+
+/// An oracle/estimator pair over one cell and the effort ratio between them.
+struct PenaltyRun {
+  core::ProtocolRun oracle;  ///< constants pinned to the true (c1, c2, d)
+  EstimatedRun estimated;    ///< same environment, estimator-driven plans
+  double est_penalty = 0;    ///< effort_est / effort_oracle; 0 if oracle never sent
+};
+
+/// Runs the oracle first, then the estimated run, in the same environment
+/// (same env.seed stream, same drift spec). Traces are not recorded — this
+/// is the campaign/bench path.
+[[nodiscard]] PenaltyRun run_penalty_pair(protocols::ProtocolKind kind,
+                                          const protocols::ProtocolConfig& config,
+                                          const core::Environment& env,
+                                          const core::DriftSpec& drift,
+                                          const EstimatorConfig& est_config = EstimatorConfig{},
+                                          std::uint64_t max_events = 50'000'000);
+
+/// The checked-in estimator baseline grid (tests/golden/estimator_baseline.jsonl):
+/// {β, γ} × {(1,2,6), (2,3,9)} × k ∈ {4, 8} × worst_case × {stationary,
+/// drifting "0:9,250:4,600:7"} — 16 cells, margin 0 (worst-case realized
+/// gaps/delays sit exactly on the bounds, so exact convergence is the pin).
+[[nodiscard]] sim::CampaignSpec golden_estimator_spec();
+
+}  // namespace rstp::est

@@ -88,6 +88,21 @@ struct RunCounters {
   friend bool operator==(const RunCounters&, const RunCounters&) = default;
 };
 
+/// Final-state gauges of the online timing estimator (rstp::est), copied out
+/// of a run when `--estimator` is active and left all-zero otherwise. Lives
+/// here (not in est/) so the obs sinks and diff layers can carry it without
+/// depending on the estimator module; est::EstimatorStats is an alias.
+struct EstimatorGauges {
+  std::int64_t c1_hat = 0;         ///< final ĉ1 estimate, ticks
+  std::int64_t c2_hat = 0;         ///< final ĉ2 estimate, ticks
+  std::int64_t d_hat = 0;          ///< final d̂ estimate, ticks
+  std::uint64_t gap_samples = 0;   ///< step-gap observations consumed
+  std::uint64_t delay_samples = 0; ///< send→delivery observations consumed
+  std::uint64_t resizes = 0;       ///< block-boundary δ changes
+
+  friend bool operator==(const EstimatorGauges&, const EstimatorGauges&) = default;
+};
+
 /// One run's full metric snapshot. Histogram windows come from the model
 /// parameters (delays in [0, d], step gaps in [0, c2]), so two runs with the
 /// same TimingParams have mergeable histograms.

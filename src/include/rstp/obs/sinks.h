@@ -35,6 +35,11 @@ struct RunMetricsRecord {
   /// (plain runs, fuzz cases) — absent in old JSONL files, which read back
   /// as 0, keeping checked-in baselines parseable.
   double gap_ratio = 0;
+  /// Estimator cells only (est/runner.h): effort_est / effort_oracle for the
+  /// paired run, plus the estimated run's final gauges. 0 elsewhere — and in
+  /// pre-estimator JSONL files, which read back as zeros like gap_ratio.
+  double est_penalty = 0;
+  EstimatorGauges est{};
   std::int64_t end_time = 0;   ///< simulated time of the last event, ticks
   bool correct = false;
   bool quiescent = false;

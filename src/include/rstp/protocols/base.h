@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +18,10 @@
 #include "rstp/core/params.h"
 #include "rstp/ioa/automaton.h"
 #include "rstp/obs/run_metrics.h"
+
+namespace rstp::est {
+class BlockPlanner;
+}
 
 namespace rstp::protocols {
 
@@ -44,6 +49,12 @@ struct ProtocolConfig {
   /// multiple of W, leaving k/W ≥ 2 data symbols). Default 2. W = 1
   /// degenerates to plain γ's stop-and-wait block rhythm.
   std::optional<std::uint32_t> window_override;
+
+  /// When set, the factory builds the estimator-driven β/γ variants
+  /// (est/adaptive.h) instead of the oracle-constant automata; the planner is
+  /// shared between the pair so both sides agree on every per-block plan.
+  /// Only Beta and Gamma support it. Ignored by validate().
+  std::shared_ptr<est::BlockPlanner> planner;
 
   /// Validates params, k >= 2, positive overrides, and binary input.
   void validate() const;

@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "rstp/core/drift.h"
 #include "rstp/core/effort.h"
 #include "rstp/core/params.h"
+#include "rstp/est/estimator.h"
 #include "rstp/obs/run_metrics.h"
 #include "rstp/obs/sinks.h"
 #include "rstp/protocols/factory.h"
@@ -49,6 +51,18 @@ struct CampaignSpec {
   std::uint64_t campaign_seed = 1;  ///< root of every derived stream
   std::uint64_t max_events = 50'000'000;
 
+  /// Estimator sweep (est/runner.h): with `estimator_enabled`, every job runs
+  /// as an oracle/estimator pair in the same environment and records
+  /// est_penalty = effort_est / effort_oracle plus the final estimator
+  /// gauges. Requires every protocol in the grid to be Beta or Gamma.
+  bool estimator_enabled = false;
+  est::EstimatorConfig estimator{};
+  /// Drift axis: each entry multiplies the grid; an empty DriftSpec means
+  /// "stationary" (the environment's own schedulers/policy). An empty vector
+  /// contributes no axis, keeping pre-existing grids' job decomposition —
+  /// and therefore their derived seed streams — bitwise identical.
+  std::vector<core::DriftSpec> drifts;
+
   /// Throws rstp::ContractViolation if any axis is empty or a parameter set
   /// is invalid.
   void validate() const;
@@ -65,6 +79,9 @@ struct CampaignJob {
   std::uint32_t k = 2;
   core::Environment environment{};  ///< seed already derived for this job
   std::uint64_t input_seed = 0;
+  core::DriftSpec drift{};  ///< empty = stationary cell
+  bool estimator_enabled = false;
+  est::EstimatorConfig estimator{};
 };
 
 /// Per-job outcome: the effort/step/send counters a sweep aggregates, plus
@@ -89,6 +106,10 @@ struct CampaignJobResult {
   /// Purely simulation-derived, so the defaulted == below keeps the
   /// campaign's bitwise-determinism guarantee covering the metrics too.
   obs::RunMetrics metrics;
+  /// Estimator cells only (est/runner.h): effort_est / effort_oracle for the
+  /// pair, and the estimated run's final gauges. Zero elsewhere.
+  double est_penalty = 0;
+  obs::EstimatorGauges est{};
 
   friend bool operator==(const CampaignJobResult&, const CampaignJobResult&) = default;
 };
@@ -112,6 +133,8 @@ struct CampaignResult {
   /// (Histograms are not folded: their bucket layouts vary with each cell's
   /// timing parameters; per-job histograms live in jobs[i].metrics.)
   obs::RunCounters total_counters;
+  /// Over estimator cells with a positive penalty; zero for oracle-only grids.
+  CampaignAggregate est_penalty{};
   std::size_t incorrect = 0;  ///< jobs with Y != X, non-quiescent, or failed
 
   [[nodiscard]] bool all_correct() const { return incorrect == 0; }

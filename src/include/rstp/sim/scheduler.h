@@ -14,6 +14,8 @@
 //   * SawtoothScheduler      — alternates c1, c2 (maximum jitter).
 //   * DriftScheduler         — long runs of c1 then long runs of c2
 //     (clock-drift-style variation between the extremes).
+//   * DriftingSpecScheduler  — step gap follows a core::DriftSpec segment
+//     schedule (scripted mid-run breakpoints), clamped into [c1, c2].
 #pragma once
 
 #include <cstdint>
@@ -21,6 +23,7 @@
 
 #include "rstp/common/rng.h"
 #include "rstp/common/time.h"
+#include "rstp/core/drift.h"
 #include "rstp/core/params.h"
 
 namespace rstp::sim {
@@ -83,6 +86,24 @@ class DriftScheduler final : public StepScheduler {
   std::uint64_t run_length_;
 };
 
+class DriftingSpecScheduler final : public StepScheduler {
+ public:
+  /// Follows `spec`: the gap after an instant t is the active segment's
+  /// c2_eff (or the envelope c2 when the segment leaves it unset), clamped
+  /// into [c1, c2] so every emitted gap stays in-model for the envelope. The
+  /// StepScheduler interface carries no simulation clock, so the scheduler
+  /// keys segments to its own cumulative step clock — exactly this process's
+  /// timeline. Requires a non-empty, valid spec.
+  DriftingSpecScheduler(core::DriftSpec spec, core::TimingParams params);
+  [[nodiscard]] Duration first_offset() override { return Duration{0}; }
+  [[nodiscard]] Duration next_gap(std::uint64_t step_index) override;
+
+ private:
+  core::DriftSpec spec_;
+  core::TimingParams params_;
+  Time clock_{};  ///< instant of this process's most recent step
+};
+
 /// Factories matching the policy factories in channel/policies.h.
 [[nodiscard]] std::unique_ptr<StepScheduler> make_fixed_rate(Duration gap,
                                                              Duration first = Duration{0});
@@ -91,5 +112,7 @@ class DriftScheduler final : public StepScheduler {
 [[nodiscard]] std::unique_ptr<StepScheduler> make_sawtooth(core::TimingParams params);
 [[nodiscard]] std::unique_ptr<StepScheduler> make_drift(core::TimingParams params,
                                                         std::uint64_t run_length);
+[[nodiscard]] std::unique_ptr<StepScheduler> make_drifting_scheduler(core::DriftSpec spec,
+                                                                     core::TimingParams params);
 
 }  // namespace rstp::sim

@@ -38,6 +38,10 @@ namespace rstp::obs::trace {
 class ModelRecorder;
 }  // namespace rstp::obs::trace
 
+namespace rstp::est {
+class TimingEstimator;
+}  // namespace rstp::est
+
 namespace rstp::sim {
 
 struct SimConfig {
@@ -62,6 +66,12 @@ struct SimConfig {
   /// run()). A pure observer of the execution: arming it cannot change any
   /// result bit. Null (the default) costs one pointer test per event.
   obs::trace::ModelRecorder* tracer = nullptr;
+  /// Optional online timing estimator (est/estimator.h; non-owning, must
+  /// outlive run()). When set, every local-step gap and every send→delivery
+  /// delay is fed to it as it happens — the in-run observation channel the
+  /// adaptive protocols re-plan from. Feeding it is observation only; the
+  /// estimates change behaviour solely through a planner the automata hold.
+  est::TimingEstimator* estimator = nullptr;
 };
 
 struct RunResult {

@@ -97,6 +97,13 @@ constexpr HistogramField kHistogramFields[] = {
   out.reserve(40);
   out.push_back(floating_quantity("effort", r.effort));
   out.push_back(floating_quantity("gap_ratio", r.gap_ratio));
+  out.push_back(floating_quantity("est_penalty", r.est_penalty));
+  out.push_back(integral_quantity("est_c1_hat", static_cast<std::uint64_t>(r.est.c1_hat)));
+  out.push_back(integral_quantity("est_c2_hat", static_cast<std::uint64_t>(r.est.c2_hat)));
+  out.push_back(integral_quantity("est_d_hat", static_cast<std::uint64_t>(r.est.d_hat)));
+  out.push_back(integral_quantity("est_gap_samples", r.est.gap_samples));
+  out.push_back(integral_quantity("est_delay_samples", r.est.delay_samples));
+  out.push_back(integral_quantity("est_resizes", r.est.resizes));
   out.push_back(integral_quantity("end_time", static_cast<std::uint64_t>(r.end_time)));
   out.push_back(integral_quantity("correct", r.correct ? 1 : 0));
   out.push_back(integral_quantity("quiescent", r.quiescent ? 1 : 0));
@@ -294,6 +301,10 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
   double new_gap_sum = 0;
   double old_gap_max = 0;
   double new_gap_max = 0;
+  double old_penalty_sum = 0;
+  double new_penalty_sum = 0;
+  double old_penalty_max = 0;
+  double new_penalty_max = 0;
   double old_delay_p[3] = {0, 0, 0};
   double new_delay_p[3] = {0, 0, 0};
 
@@ -318,6 +329,10 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
     new_gap_sum += new_record.gap_ratio;
     old_gap_max = std::max(old_gap_max, old_record->gap_ratio);
     new_gap_max = std::max(new_gap_max, new_record.gap_ratio);
+    old_penalty_sum += old_record->est_penalty;
+    new_penalty_sum += new_record.est_penalty;
+    old_penalty_max = std::max(old_penalty_max, old_record->est_penalty);
+    new_penalty_max = std::max(new_penalty_max, new_record.est_penalty);
     const double percentiles[3] = {50.0, 95.0, 99.0};
     for (std::size_t i = 0; i < 3; ++i) {
       const Histogram& old_h = old_record->metrics.data_delay;
@@ -367,6 +382,8 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
   add_floating("effort_max", old_effort_max, new_effort_max);
   add_floating("gap_ratio_mean", old_gap_sum / matched, new_gap_sum / matched);
   add_floating("gap_ratio_max", old_gap_max, new_gap_max);
+  add_floating("est_penalty_mean", old_penalty_sum / matched, new_penalty_sum / matched);
+  add_floating("est_penalty_max", old_penalty_max, new_penalty_max);
   add_floating("delay_p50", old_delay_p[0] / matched, new_delay_p[0] / matched);
   add_floating("delay_p95", old_delay_p[1] / matched, new_delay_p[1] / matched);
   add_floating("delay_p99", old_delay_p[2] / matched, new_delay_p[2] / matched);

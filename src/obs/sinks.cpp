@@ -82,6 +82,11 @@ void write_run_metrics_jsonl(std::ostream& os, const RunMetricsRecord& record) {
      << ",\"input_bits\":" << record.input_bits << ",\"seed\":" << record.seed
      << ",\"effort\":" << json_number(record.effort)
      << ",\"gap_ratio\":" << json_number(record.gap_ratio)
+     << ",\"est_penalty\":" << json_number(record.est_penalty)
+     << ",\"est\":{\"c1_hat\":" << record.est.c1_hat << ",\"c2_hat\":" << record.est.c2_hat
+     << ",\"d_hat\":" << record.est.d_hat << ",\"gap_samples\":" << record.est.gap_samples
+     << ",\"delay_samples\":" << record.est.delay_samples
+     << ",\"resizes\":" << record.est.resizes << "}"
      << ",\"end_time\":" << record.end_time
      << ",\"correct\":" << (record.correct ? "true" : "false")
      << ",\"quiescent\":" << (record.quiescent ? "true" : "false") << ",\"counters\":{"
@@ -134,6 +139,17 @@ std::vector<RunMetricsRecord> read_run_metrics_jsonl(std::istream& is) {
       record.effort = doc.number_or("effort", 0);
       // Absent in pre-adversary baselines; defaulting keeps them parseable.
       record.gap_ratio = doc.number_or("gap_ratio", 0);
+      // Same back-compat contract for the estimator fields.
+      record.est_penalty = doc.number_or("est_penalty", 0);
+      const JsonValue* est = doc.find("est");
+      if (est != nullptr && est->is_object()) {
+        record.est.c1_hat = est->i64_or("c1_hat", 0);
+        record.est.c2_hat = est->i64_or("c2_hat", 0);
+        record.est.d_hat = est->i64_or("d_hat", 0);
+        record.est.gap_samples = est->u64_or("gap_samples", 0);
+        record.est.delay_samples = est->u64_or("delay_samples", 0);
+        record.est.resizes = est->u64_or("resizes", 0);
+      }
       record.end_time = doc.i64_or("end_time", 0);
       record.correct = doc.bool_or("correct", false);
       record.quiescent = doc.bool_or("quiescent", false);

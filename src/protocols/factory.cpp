@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "rstp/common/check.h"
+#include "rstp/est/adaptive.h"
 #include "rstp/protocols/alpha.h"
 #include "rstp/protocols/altbit.h"
 #include "rstp/protocols/beta.h"
@@ -52,6 +53,18 @@ bool is_r_passive(ProtocolKind kind) {
 
 ProtocolInstance make_protocol(ProtocolKind kind, const ProtocolConfig& config) {
   config.validate();
+  if (config.planner != nullptr) {
+    // Estimator-driven variants: the shared planner replaces the oracle block
+    // sizes. Only the two block protocols have an adaptive form.
+    RSTP_CHECK(kind == ProtocolKind::Beta || kind == ProtocolKind::Gamma,
+               "the estimator supports only beta and gamma");
+    if (kind == ProtocolKind::Beta) {
+      return {std::make_unique<est::AdaptiveBetaTransmitter>(config),
+              std::make_unique<est::AdaptiveBetaReceiver>(config)};
+    }
+    return {std::make_unique<est::AdaptiveGammaTransmitter>(config),
+            std::make_unique<est::AdaptiveGammaReceiver>(config)};
+  }
   switch (kind) {
     case ProtocolKind::Alpha:
       return {std::make_unique<AlphaTransmitter>(config), std::make_unique<AlphaReceiver>(config)};

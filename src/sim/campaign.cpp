@@ -11,6 +11,7 @@
 
 #include "rstp/common/check.h"
 #include "rstp/common/rng.h"
+#include "rstp/est/runner.h"
 #include "rstp/obs/metrics.h"
 
 namespace rstp::sim {
@@ -39,21 +40,36 @@ void CampaignSpec::validate() const {
   for (const std::uint32_t k : alphabets) {
     RSTP_CHECK_GE(k, 2u, "campaign alphabets need k >= 2");
   }
+  for (const core::DriftSpec& drift : drifts) {
+    if (!drift.empty()) drift.validate();
+  }
+  if (estimator_enabled) {
+    estimator.validate();
+    for (const protocols::ProtocolKind p : protocols) {
+      RSTP_CHECK(p == protocols::ProtocolKind::Beta || p == protocols::ProtocolKind::Gamma,
+                 "the estimator supports only beta and gamma");
+    }
+  }
 }
 
 std::size_t CampaignSpec::job_count() const {
   return protocols.size() * timings.size() * alphabets.size() * environments.size() *
-         seeds_per_cell;
+         seeds_per_cell * std::max<std::size_t>(1, drifts.size());
 }
 
 Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) { spec_.validate(); }
 
 CampaignJob Campaign::job(std::size_t index) const {
   RSTP_CHECK_LT(index, job_count(), "campaign job index out of range");
-  // Grid order: protocol-major, seed replica fastest.
+  // Grid order: protocol-major, seed replica fastest. The drift axis sits
+  // between seed and environment; with no drifts its size is 1, so grids
+  // that predate it decompose — and derive seeds — exactly as before.
+  const std::size_t drift_count = std::max<std::size_t>(1, spec_.drifts.size());
   std::size_t rest = index;
   const std::size_t seed_i = rest % spec_.seeds_per_cell;
   rest /= spec_.seeds_per_cell;
+  const std::size_t drift_i = rest % drift_count;
+  rest /= drift_count;
   const std::size_t env_i = rest % spec_.environments.size();
   rest /= spec_.environments.size();
   const std::size_t k_i = rest % spec_.alphabets.size();
@@ -69,6 +85,9 @@ CampaignJob Campaign::job(std::size_t index) const {
   job.params = spec_.timings[timing_i];
   job.k = spec_.alphabets[k_i];
   job.environment = spec_.environments[env_i];
+  if (!spec_.drifts.empty()) job.drift = spec_.drifts[drift_i];
+  job.estimator_enabled = spec_.estimator_enabled;
+  job.estimator = spec_.estimator;
   // Per-job deterministic streams: SplitMix64 over campaign_seed + index
   // yields the environment seed, then the input seed. A job's randomness
   // depends only on (campaign_seed, index) — never on which worker ran it.
@@ -96,20 +115,37 @@ CampaignJobResult run_campaign_job(const CampaignJob& job, std::size_t input_bit
       config.k = std::max<std::uint32_t>(
           config.k, static_cast<std::uint32_t>(2 * std::max<std::size_t>(1, input_bits)));
     }
-    const core::ProtocolRun run = core::run_protocol(job.protocol, config, job.environment,
-                                                     /*record_trace=*/false, max_events);
-    r.event_count = run.result.event_count;
-    r.transmitter_steps = run.result.transmitter_steps;
-    r.receiver_steps = run.result.receiver_steps;
-    r.transmitter_sends = run.result.transmitter_sends;
-    r.receiver_sends = run.result.receiver_sends;
-    r.output_correct = run.output_correct;
-    r.quiescent = run.result.quiescent;
-    r.metrics = run.result.metrics;
-    if (input_bits > 0 && run.result.last_transmitter_send.has_value()) {
-      r.effort = static_cast<double>(
-                     (*run.result.last_transmitter_send - Time::zero()).ticks()) /
-                 static_cast<double>(input_bits);
+    const auto fill = [&](const core::ProtocolRun& run) {
+      r.event_count = run.result.event_count;
+      r.transmitter_steps = run.result.transmitter_steps;
+      r.receiver_steps = run.result.receiver_steps;
+      r.transmitter_sends = run.result.transmitter_sends;
+      r.receiver_sends = run.result.receiver_sends;
+      r.output_correct = run.output_correct;
+      r.quiescent = run.result.quiescent;
+      r.metrics = run.result.metrics;
+      if (input_bits > 0 && run.result.last_transmitter_send.has_value()) {
+        r.effort = static_cast<double>(
+                       (*run.result.last_transmitter_send - Time::zero()).ticks()) /
+                   static_cast<double>(input_bits);
+      }
+    };
+    if (job.estimator_enabled) {
+      // Oracle + estimated runs over the same environment; the row reports
+      // the estimated run (that is the protocol under test) plus the ratio.
+      const est::PenaltyRun pair = est::run_penalty_pair(job.protocol, config, job.environment,
+                                                         job.drift, job.estimator, max_events);
+      fill(pair.estimated.run);
+      r.est_penalty = pair.est_penalty;
+      r.est = pair.estimated.gauges;
+    } else if (!job.drift.empty()) {
+      fill(est::run_estimated(job.protocol, config, job.environment, job.drift,
+                              /*estimator_enabled=*/false, est::EstimatorConfig{},
+                              /*record_trace=*/false, max_events)
+               .run);
+    } else {
+      fill(core::run_protocol(job.protocol, config, job.environment,
+                              /*record_trace=*/false, max_events));
     }
   } catch (const std::exception& e) {
     r.failed = true;
@@ -319,9 +355,12 @@ CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress)
   // vector, so they too are bitwise reproducible across thread counts.
   bool first_effort = true;
   bool first_events = true;
+  bool first_penalty = true;
   double effort_sum = 0;
   double events_sum = 0;
+  double penalty_sum = 0;
   std::size_t effort_jobs = 0;
+  std::size_t penalty_jobs = 0;
   for (const CampaignJobResult& r : result.jobs) {
     result.total_events += r.event_count;
     result.total_transmitter_sends += r.transmitter_sends;
@@ -347,12 +386,26 @@ CampaignResult Campaign::run(unsigned threads, const CampaignProgress& progress)
       effort_sum += r.effort;
       ++effort_jobs;
     }
+    if (r.est_penalty > 0) {
+      if (first_penalty) {
+        result.est_penalty.min = result.est_penalty.max = r.est_penalty;
+        first_penalty = false;
+      } else {
+        result.est_penalty.min = std::min(result.est_penalty.min, r.est_penalty);
+        result.est_penalty.max = std::max(result.est_penalty.max, r.est_penalty);
+      }
+      penalty_sum += r.est_penalty;
+      ++penalty_jobs;
+    }
   }
   if (jobs > 0) {
     result.events.mean = events_sum / static_cast<double>(jobs);
   }
   if (effort_jobs > 0) {
     result.effort.mean = effort_sum / static_cast<double>(effort_jobs);
+  }
+  if (penalty_jobs > 0) {
+    result.est_penalty.mean = penalty_sum / static_cast<double>(penalty_jobs);
   }
   return result;
 }
@@ -374,6 +427,8 @@ std::vector<obs::RunMetricsRecord> campaign_metrics_records(const CampaignResult
     record.correct = j.output_correct;
     record.quiescent = j.quiescent;
     record.metrics = j.metrics;
+    record.est_penalty = j.est_penalty;
+    record.est = j.est;
     records.push_back(std::move(record));
   }
   return records;

@@ -1,5 +1,7 @@
 #include "rstp/sim/scheduler.h"
 
+#include <algorithm>
+
 #include "rstp/common/check.h"
 
 namespace rstp::sim {
@@ -43,6 +45,21 @@ Duration DriftScheduler::next_gap(std::uint64_t step_index) {
   return (run % 2 == 0) ? params_.c1 : params_.c2;
 }
 
+DriftingSpecScheduler::DriftingSpecScheduler(core::DriftSpec spec, core::TimingParams params)
+    : spec_(std::move(spec)), params_(params) {
+  params_.validate();
+  spec_.validate();
+  RSTP_CHECK(!spec_.empty(), "drifting scheduler requires a non-empty spec");
+}
+
+Duration DriftingSpecScheduler::next_gap(std::uint64_t /*step_index*/) {
+  const core::DriftSpec::Segment& seg = spec_.segment_at(clock_);
+  const Duration target = seg.c2_eff.value_or(params_.c2);
+  const Duration gap{std::clamp(target.ticks(), params_.c1.ticks(), params_.c2.ticks())};
+  clock_ += gap;
+  return gap;
+}
+
 std::unique_ptr<StepScheduler> make_fixed_rate(Duration gap, Duration first) {
   return std::make_unique<FixedRateScheduler>(gap, first);
 }
@@ -57,6 +74,11 @@ std::unique_ptr<StepScheduler> make_sawtooth(core::TimingParams params) {
 
 std::unique_ptr<StepScheduler> make_drift(core::TimingParams params, std::uint64_t run_length) {
   return std::make_unique<DriftScheduler>(params, run_length);
+}
+
+std::unique_ptr<StepScheduler> make_drifting_scheduler(core::DriftSpec spec,
+                                                       core::TimingParams params) {
+  return std::make_unique<DriftingSpecScheduler>(std::move(spec), params);
 }
 
 }  // namespace rstp::sim

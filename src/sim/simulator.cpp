@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "rstp/common/check.h"
+#include "rstp/est/estimator.h"
 #include "rstp/obs/metrics.h"
 #include "rstp/obs/trace.h"
 
@@ -115,6 +116,9 @@ void Simulator::deliver_due(RunResult& result, Time now) {
     // The channel knows both endpoints of every flight, so delivery delay is
     // measured exactly — no post-hoc trace matching involved.
     const Duration delay = flight.deliver_at - flight.sent_at;
+    if (config_.estimator != nullptr) {
+      config_.estimator->observe_delay(delay);
+    }
     {
       const obs::ScopedPhaseTimer account_timer{obs::Phase::StepAccount};
       if (flight.packet.destination() == ProcessId::Receiver) {
@@ -163,6 +167,9 @@ void Simulator::take_process_step(RunResult& result, ProcessState& ps, ProcessId
   {
     const obs::ScopedPhaseTimer apply_timer{obs::Phase::ProtoApply};
     ps.automaton->apply(*action);
+  }
+  if (config_.estimator != nullptr && ps.steps_taken > 0) {
+    config_.estimator->observe_gap(ps.next_step - ps.last_step_time);
   }
   {
     const obs::ScopedPhaseTimer account_timer{obs::Phase::StepAccount};

@@ -363,6 +363,56 @@ TEST(Cli, ReplayWritesChromeTraceWithTraceOut) {
   std::remove(trace_json.c_str());
 }
 
+TEST(Cli, EstimatorRunReportsLiveEstimates) {
+  std::string out;
+  EXPECT_EQ(run_command("run beta 1 2 6 4 64 --estimator", &out), 0) << out;
+  EXPECT_NE(out.find("correct:    yes"), std::string::npos) << out;
+  EXPECT_NE(out.find("estimator:  margin 0.125"), std::string::npos) << out;
+  EXPECT_NE(out.find("accepts (in good(A))"), std::string::npos) << out;
+  // An explicit margin and a drift script ride along; the estimator chases
+  // the post-breakpoint delay and the run still verifies.
+  EXPECT_EQ(run_command("run gamma 1 2 6 4 64 --estimator=0 --drift 0:6,120:3", &out), 0) << out;
+  EXPECT_NE(out.find("correct:    yes"), std::string::npos) << out;
+  EXPECT_NE(out.find("drift:"), std::string::npos) << out;
+  EXPECT_NE(out.find("estimator:  margin 0"), std::string::npos) << out;
+}
+
+TEST(Cli, EstimatorAndDriftUsageErrorsNameTheBadToken) {
+  std::string out;
+  EXPECT_EQ(run_command("run beta 1 2 6 4 64 --drift nope", &out), 2);
+  EXPECT_NE(out.find("bad --drift segment 'nope'"), std::string::npos) << out;
+  EXPECT_EQ(run_command("run beta 1 2 6 4 64 --drift 0:9,250", &out), 2);
+  EXPECT_NE(out.find("bad --drift segment '250'"), std::string::npos) << out;
+  EXPECT_EQ(run_command("run beta 1 2 6 4 64 --estimator=abc", &out), 2);
+  EXPECT_NE(out.find("invalid --estimator margin 'abc'"), std::string::npos) << out;
+  EXPECT_EQ(run_command("run beta 1 2 6 4 64 --estimator=1.5", &out), 2);
+  EXPECT_NE(out.find("invalid --estimator margin '1.5'"), std::string::npos) << out;
+  EXPECT_EQ(run_command("run alpha 1 2 6 2 64 --estimator", &out), 2);
+  EXPECT_NE(out.find("--estimator supports only beta and gamma"), std::string::npos) << out;
+}
+
+TEST(Cli, ReplayRejectsTheEstimatorFlag) {
+  std::string out;
+  EXPECT_EQ(run_command(std::string("replay ") + RSTP_GOLDEN_REPRO_PATH + " --estimator", &out),
+            2);
+  EXPECT_NE(out.find("--estimator is not supported for replay"), std::string::npos) << out;
+}
+
+TEST(Cli, EstimatorCampaignHoldsThePenaltyGate) {
+  const std::string jsonl = ::testing::TempDir() + "/cli_est_campaign.jsonl";
+  std::remove(jsonl.c_str());
+  std::string out;
+  EXPECT_EQ(run_command("campaign --estimator --metrics-out " + jsonl + " --threads 2", &out), 0);
+  EXPECT_NE(out.find("estimator grid: 16 jobs, 0 incorrect"), std::string::npos) << out;
+  // The exported series holds the CI penalty gate against itself — the exact
+  // invocation the estimator-smoke CI job runs against the checked-in file.
+  EXPECT_EQ(run_command("report " + jsonl + " " + jsonl + " --fail-on 'est_penalty_max>5%'",
+                        &out),
+            0);
+  EXPECT_NE(out.find("gate: all 1 thresholds hold"), std::string::npos) << out;
+  std::remove(jsonl.c_str());
+}
+
 TEST(Cli, TimingReportsOverheadAndHonorsNoTscEnv) {
   std::string out;
   ASSERT_EQ(run_command("run beta 1 2 6 4 32 --timing", &out), 0) << out;

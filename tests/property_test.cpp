@@ -16,8 +16,16 @@
 //       passes the legality checker and drives correct, quiescent in-model
 //       runs; every illegal genome is rejected with a structured defect
 //       naming the offending field and slot.
+//   P8  Self-tuning: on random stationary in-model environments the online
+//       (ĉ1, ĉ2, d̂) estimates bracket the realized channel (ĉ1 never above
+//       the realized minimum gap; ĉ2/d̂ at or above the realized constants
+//       whenever the environment pins them), every estimator-driven run
+//       satisfies the verifier, and adversarial drift never drives the
+//       estimator into an illegal state (ĉ1 > ĉ2 or d̂ < ĉ2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "rstp/channel/synthesized.h"
@@ -25,7 +33,9 @@
 #include "rstp/common/rng.h"
 #include "rstp/core/bounds.h"
 #include "rstp/core/effort.h"
+#include "rstp/core/drift.h"
 #include "rstp/core/verify.h"
+#include "rstp/est/runner.h"
 #include "rstp/obs/diff.h"
 #include "rstp/protocols/factory.h"
 #include "rstp/sim/campaign.h"
@@ -398,6 +408,112 @@ TEST(SynthesizedSchedules, IllegalGenomesAreRejectedWithStructuredDefects) {
     EXPECT_TRUE(named) << "no defect names " << b.field << "[" << b.index << "]";
     EXPECT_THROW(channel::validate_genome(b.genome, params), ModelError);
     EXPECT_THROW(channel::SynthesizedPolicy(b.genome, params), ContractViolation);
+  }
+}
+
+TEST(EstimatorBracketing, StationaryInModelRunsBracketTheRealizedChannel) {
+  // P8, first half. The estimator's gap hook sees exactly the samples the
+  // gap histograms record (same simulator guard), so the histograms are the
+  // realized truth to bracket against: ĉ1 must never exceed the realized
+  // minimum gap, ĉ2 must cover a pinned-constant gap, and d̂ must cover d
+  // whenever every delivery takes exactly d. Every estimator-driven run must
+  // also come through correct, quiescent, and verifier-clean.
+  Rng rng{0xE571};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TimingParams params = random_params(rng);
+    const std::uint32_t k = static_cast<std::uint32_t>(rng.next_in(2, 8));
+    const std::size_t n = static_cast<std::size_t>(rng.next_in(8, 64));
+    const Environment env = random_environment(rng);
+
+    protocols::ProtocolConfig cfg;
+    cfg.params = params;
+    cfg.k = k;
+    cfg.input = make_random_input(n, rng.next_u64());
+
+    for (const auto kind : {ProtocolKind::Beta, ProtocolKind::Gamma}) {
+      SCOPED_TRACE(std::string(protocols::to_string(kind)) + " trial=" +
+                   std::to_string(trial));
+      const est::EstimatedRun er =
+          est::run_estimated(kind, cfg, env, DriftSpec{}, true);
+      EXPECT_TRUE(er.run.output_correct);
+      EXPECT_TRUE(er.run.result.quiescent);
+      const VerifyResult verdict = verify_trace(er.run.result.trace, params, cfg.input);
+      EXPECT_TRUE(verdict.ok()) << verdict;
+
+      // Legal state after any warm-up: 1 <= ĉ1 <= ĉ2 <= d̂.
+      ASSERT_GE(er.gauges.c1_hat, 1);
+      ASSERT_LE(er.gauges.c1_hat, er.gauges.c2_hat);
+      ASSERT_LE(er.gauges.c2_hat, er.gauges.d_hat);
+
+      const obs::Histogram& tg = er.run.result.metrics.transmitter_gap;
+      const obs::Histogram& rg = er.run.result.metrics.receiver_gap;
+      ASSERT_GT(tg.count() + rg.count(), 0u);
+      std::int64_t realized_min = std::numeric_limits<std::int64_t>::max();
+      std::int64_t realized_max = 0;
+      for (const obs::Histogram* h : {&tg, &rg}) {
+        if (h->count() == 0) continue;
+        realized_min = std::min(realized_min, h->min());
+        realized_max = std::max(realized_max, h->max());
+      }
+      // ĉ1 is a margin-shrunk running minimum: never above the realization.
+      EXPECT_LE(er.gauges.c1_hat, realized_min);
+      if (realized_min == params.c1.ticks()) {
+        EXPECT_LE(er.gauges.c1_hat, params.c1.ticks());  // brackets the truth
+      }
+      if (realized_min == realized_max) {
+        // Constant realized gaps: the EWMA sits on the value, so ĉ2 covers it.
+        EXPECT_GE(er.gauges.c2_hat, realized_max);
+      }
+      if (env.delay == Environment::Delay::Max && er.gauges.delay_samples > 0) {
+        EXPECT_GE(er.gauges.d_hat, params.d.ticks());  // d̂ covers the truth
+      }
+    }
+  }
+}
+
+TEST(EstimatorBracketing, AdversarialDriftNeverDrivesTheEstimatorIllegal) {
+  // P8, second half: scripted drift (including zero-delay segments and
+  // clamped-out-of-envelope values) may cost effort, but it can never push
+  // the estimates into an illegal state, and every drifting run must still
+  // finish correctly inside good(A) for the envelope.
+  Rng rng{0xD21F};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TimingParams params = random_params(rng);
+
+    DriftSpec drift;
+    Time start = Time::zero();
+    const auto segments = static_cast<std::size_t>(rng.next_in(1, 4));
+    for (std::size_t s = 0; s < segments; ++s) {
+      DriftSpec::Segment seg;
+      seg.start = start;
+      seg.d_eff = Duration{rng.next_in(0, 30)};  // may clamp at both ends
+      if (rng.next_below(2) == 0) seg.c2_eff = Duration{rng.next_in(1, 10)};
+      drift.segments.push_back(seg);
+      start = start + Duration{rng.next_in(1, 200)};
+    }
+    drift.validate();
+
+    protocols::ProtocolConfig cfg;
+    cfg.params = params;
+    cfg.k = static_cast<std::uint32_t>(rng.next_in(2, 8));
+    cfg.input = make_random_input(static_cast<std::size_t>(rng.next_in(8, 48)),
+                                  rng.next_u64());
+    const Environment env = random_environment(rng);
+
+    for (const auto kind : {ProtocolKind::Beta, ProtocolKind::Gamma}) {
+      SCOPED_TRACE(std::string(protocols::to_string(kind)) + " trial=" +
+                   std::to_string(trial) + " drift=" + drift.to_string());
+      const est::EstimatedRun er = est::run_estimated(kind, cfg, env, drift, true);
+      EXPECT_TRUE(er.run.output_correct);
+      EXPECT_TRUE(er.run.result.quiescent);
+      // The illegal states P8 rules out: ĉ1 > ĉ2 or d̂ < ĉ2.
+      ASSERT_GE(er.gauges.c1_hat, 1);
+      ASSERT_LE(er.gauges.c1_hat, er.gauges.c2_hat);
+      ASSERT_LE(er.gauges.c2_hat, er.gauges.d_hat);
+      // Clamping keeps drifting executions inside the envelope's good(A).
+      const VerifyResult verdict = verify_trace(er.run.result.trace, params, cfg.input);
+      EXPECT_TRUE(verdict.ok()) << verdict;
+    }
   }
 }
 

@@ -111,7 +111,9 @@
 #include <vector>
 
 #include "rstp/core/bounds.h"
+#include "rstp/core/drift.h"
 #include "rstp/core/effort.h"
+#include "rstp/est/runner.h"
 #include "rstp/core/trace_stats.h"
 #include "rstp/core/verify.h"
 #include "rstp/ioa/explorer.h"
@@ -135,12 +137,13 @@ int usage() {
                "  rstp bounds  <c1> <c2> <d> <k>\n"
                "  rstp run     <protocol> <c1> <c2> <d> <k> <n|bits>"
                " [--env worst|fast|random|adversarial] [--seed N] [--trace FILE]"
-               " [--trace-out FILE] [--stats] [--metrics-out FILE] [--timing]\n"
+               " [--trace-out FILE] [--stats] [--metrics-out FILE] [--timing]"
+               " [--estimator[=margin]] [--drift SPEC]\n"
                "  rstp verify  <c1> <c2> <d> <tracefile> <bits>\n"
                "  rstp explore <protocol> <d> <k> <bits>\n"
                "  rstp bench   [--json PATH] [--threads N]... [--metrics-out FILE]\n"
                "  rstp campaign [--metrics-out FILE] [--threads N] [--dashboard]"
-               " [--no-dashboard]\n"
+               " [--no-dashboard] [--estimator[=margin]] [--drift SPEC]\n"
                "  rstp report  <metrics.jsonl>\n"
                "  rstp report  <old.jsonl> <new.jsonl> [--json] [--fail-on SPEC]\n"
                "  rstp fuzz    <protocol> [--seed N] [--budget N] [--jobs N] [--k K]"
@@ -171,6 +174,28 @@ template <typename T>
 int bad_number(std::string_view what, std::string_view token) {
   std::cerr << "invalid " << what << " '" << token << "': expected a decimal integer\n";
   return 2;
+}
+
+/// Parses an `--estimator=margin` value. Empty optional (after the error
+/// message naming the token) on a non-numeric or out-of-range margin.
+[[nodiscard]] std::optional<double> parse_margin(std::string_view token) {
+  const auto parsed = parse_number<double>(token);
+  if (!parsed.has_value() || !(*parsed >= 0.0 && *parsed < 1.0)) {
+    std::cerr << "invalid --estimator margin '" << token << "': expected a number in [0, 1)\n";
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+/// Parses a `--drift` spec, turning a DriftParseError into the usual exit-2
+/// style report naming the offending token.
+[[nodiscard]] std::optional<core::DriftSpec> parse_drift(const std::string& token) {
+  try {
+    return core::DriftSpec::parse(token);
+  } catch (const core::DriftParseError& e) {
+    std::cerr << "bad --drift segment '" << e.token() << "': " << e.what() << "\n";
+    return std::nullopt;
+  }
 }
 
 std::optional<ProtocolKind> parse_protocol(const std::string& name) {
@@ -249,6 +274,9 @@ int cmd_run(int argc, char** argv) {
   std::string metrics_file;
   bool want_stats = false;
   bool want_timing = false;
+  bool want_estimator = false;
+  double est_margin = 0.125;
+  core::DriftSpec drift;
   for (int i = 8; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--env" && i + 1 < argc) {
@@ -284,10 +312,29 @@ int cmd_run(int argc, char** argv) {
       metrics_file = argv[++i];
     } else if (arg == "--timing") {
       want_timing = true;
+    } else if (arg == "--estimator") {
+      want_estimator = true;
+    } else if (arg.rfind("--estimator=", 0) == 0) {
+      const auto margin = parse_margin(arg.substr(std::string_view{"--estimator="}.size()));
+      if (!margin.has_value()) return 2;
+      want_estimator = true;
+      est_margin = *margin;
+    } else if (arg == "--drift" && i + 1 < argc) {
+      const auto parsed = parse_drift(argv[++i]);
+      if (!parsed.has_value()) return 2;
+      drift = *parsed;
+    } else if (arg.rfind("--drift=", 0) == 0) {
+      const auto parsed = parse_drift(arg.substr(std::string_view{"--drift="}.size()));
+      if (!parsed.has_value()) return 2;
+      drift = *parsed;
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       return 2;
     }
+  }
+  if (want_estimator && *kind != ProtocolKind::Beta && *kind != ProtocolKind::Gamma) {
+    std::cerr << "--estimator supports only beta and gamma\n";
+    return 2;
   }
   const auto input = parse_input(argv[7], seed);
   if (!input.has_value()) return bad_number("input length", argv[7]);
@@ -313,9 +360,15 @@ int cmd_run(int argc, char** argv) {
     recorder.emplace(*tracer);
     if (want_timing) tracer->attach_host_hook();
   }
-  const core::ProtocolRun run =
-      core::run_protocol(*kind, cfg, env, /*record_trace=*/true, 50'000'000,
+  // run_estimated with no drift and the estimator off is exactly
+  // core::run_protocol (same seed stream), so one call covers all modes.
+  est::EstimatorConfig est_cfg;
+  est_cfg.margin = est_margin;
+  const est::EstimatedRun est_run =
+      est::run_estimated(*kind, cfg, env, drift, want_estimator, est_cfg,
+                         /*record_trace=*/true, 50'000'000,
                          recorder.has_value() ? &*recorder : nullptr);
+  const core::ProtocolRun& run = est_run.run;
   if (tracer.has_value()) tracer->detach_host_hook();
   if (want_timing) obs::set_phase_timing_enabled(false);
   std::cout << "protocol:   " << protocols::to_string(*kind) << "\n"
@@ -323,6 +376,16 @@ int cmd_run(int argc, char** argv) {
             << "input bits: " << cfg.input.size() << "\n"
             << "completed:  " << (run.result.quiescent ? "yes" : "NO") << "\n"
             << "correct:    " << (run.output_correct ? "yes" : "NO") << "\n";
+  if (!drift.empty()) {
+    std::cout << "drift:      " << drift << "\n";
+  }
+  if (want_estimator) {
+    std::cout << "estimator:  margin " << est_margin << ", (c1,c2,d) = ("
+              << est_run.gauges.c1_hat << ", " << est_run.gauges.c2_hat << ", "
+              << est_run.gauges.d_hat << "), " << est_run.gauges.gap_samples << " gap / "
+              << est_run.gauges.delay_samples << " delay samples, " << est_run.gauges.resizes
+              << " resizes\n";
+  }
   double effort = 0;
   if (run.result.last_transmitter_send.has_value() && !cfg.input.empty()) {
     effort = static_cast<double>((*run.result.last_transmitter_send - Time::zero()).ticks()) /
@@ -356,6 +419,7 @@ int cmd_run(int argc, char** argv) {
     record.correct = run.output_correct;
     record.quiescent = run.result.quiescent;
     record.metrics = run.result.metrics;
+    record.est = est_run.gauges;
     if (!append_metrics_jsonl(metrics_file, {record})) {
       std::cerr << "cannot open '" << metrics_file << "'\n";
       return 1;
@@ -579,6 +643,9 @@ int cmd_campaign(int argc, char** argv) {
   std::string metrics_file;
   unsigned threads = 1;
   bool want_dashboard = false;
+  bool want_estimator = false;
+  std::optional<double> margin_override;
+  std::optional<core::DriftSpec> drift_override;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out" && i + 1 < argc) {
@@ -591,11 +658,32 @@ int cmd_campaign(int argc, char** argv) {
       want_dashboard = true;
     } else if (arg == "--no-dashboard") {
       want_dashboard = false;
+    } else if (arg == "--estimator") {
+      want_estimator = true;
+    } else if (arg.rfind("--estimator=", 0) == 0) {
+      const auto margin = parse_margin(arg.substr(std::string_view{"--estimator="}.size()));
+      if (!margin.has_value()) return 2;
+      want_estimator = true;
+      margin_override = *margin;
+    } else if (arg == "--drift" && i + 1 < argc) {
+      const auto parsed = parse_drift(argv[++i]);
+      if (!parsed.has_value()) return 2;
+      drift_override = *parsed;
+    } else if (arg.rfind("--drift=", 0) == 0) {
+      const auto parsed = parse_drift(arg.substr(std::string_view{"--drift="}.size()));
+      if (!parsed.has_value()) return 2;
+      drift_override = *parsed;
     } else {
       return usage();
     }
   }
-  const sim::CampaignSpec spec = sim::golden_campaign_spec();
+  // Bare --estimator runs the pinned estimator grid (margin 0, its own drift
+  // axis — the checked-in estimator_baseline.jsonl); overrides are for
+  // ad-hoc sweeps, not the baseline.
+  sim::CampaignSpec spec =
+      want_estimator ? est::golden_estimator_spec() : sim::golden_campaign_spec();
+  if (margin_override.has_value()) spec.estimator.margin = *margin_override;
+  if (drift_override.has_value()) spec.drifts = {*drift_override};
   const sim::Campaign campaign{spec};
   const ProgressStyle style = resolve_progress_style(want_dashboard);
   sim::CampaignProgress progress;
@@ -612,8 +700,15 @@ int cmd_campaign(int argc, char** argv) {
   const sim::CampaignResult result =
       style == ProgressStyle::None ? campaign.run(threads) : campaign.run(threads, progress);
   dashboard.close();
-  std::cout << "golden grid: " << result.jobs.size() << " jobs, " << result.incorrect
-            << " incorrect, mean effort " << result.effort.mean << " ticks/bit\n";
+  if (want_estimator) {
+    std::cout << "estimator grid: " << result.jobs.size() << " jobs, " << result.incorrect
+              << " incorrect, est penalty mean/max " << result.est_penalty.mean << "/"
+              << result.est_penalty.max << ", mean effort " << result.effort.mean
+              << " ticks/bit\n";
+  } else {
+    std::cout << "golden grid: " << result.jobs.size() << " jobs, " << result.incorrect
+              << " incorrect, mean effort " << result.effort.mean << " ticks/bit\n";
+  }
   if (!metrics_file.empty()) {
     if (!append_metrics_jsonl(metrics_file, sim::campaign_metrics_records(result,
                                                                           spec.input_bits))) {
@@ -1029,6 +1124,10 @@ int cmd_replay(int argc, char** argv) {
       trace_out_file = argv[++i];
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out_file = arg.substr(std::string_view{"--trace-out="}.size());
+    } else if (arg == "--estimator" || arg.rfind("--estimator=", 0) == 0) {
+      std::cerr << "--estimator is not supported for replay: artifacts pin the recorded"
+                   " constants\n";
+      return 2;
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       return 2;
