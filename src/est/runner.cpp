@@ -126,11 +126,18 @@ PenaltyRun run_penalty_pair(protocols::ProtocolKind kind,
                    .run;
   out.estimated = run_estimated(kind, config, env, drift, /*estimator_enabled=*/true, est_config,
                                 /*record_trace=*/false, max_events);
-  const double oracle_ticks = effort_ticks(out.oracle);
-  if (oracle_ticks > 0) {
-    out.est_penalty = effort_ticks(out.estimated.run) / oracle_ticks;
-  }
+  out.est_penalty = fold_est_penalty(effort_ticks(out.oracle), effort_ticks(out.estimated.run));
   return out;
+}
+
+double fold_est_penalty(double oracle_ticks, double estimated_ticks) {
+  if (oracle_ticks > 0) return estimated_ticks / oracle_ticks;
+  // The oracle never sent. If the estimated run was silent too, the pair has
+  // no penalty to report (0, the schema's "not applicable"). If it DID send,
+  // the raw division would hand the diff gate inf (or NaN for 0/0 with a
+  // negative-ticks corruption) — report the finite sentinel instead so
+  // `est_penalty_max` trips loudly rather than silently passing.
+  return estimated_ticks > 0 ? kDegenerateEstPenalty : 0;
 }
 
 sim::CampaignSpec golden_estimator_spec() {

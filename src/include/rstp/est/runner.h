@@ -53,11 +53,28 @@ struct EstimatedRun {
                                          std::uint64_t max_events = 50'000'000,
                                          obs::trace::ModelRecorder* tracer = nullptr);
 
+/// The finite sentinel fold_est_penalty reports when the estimated run sent
+/// but the oracle never did: the ratio is degenerate (division by zero), and
+/// the raw inf/NaN it would produce poisons everything downstream — NaN
+/// compares false against every gate limit and neither survives a JSON
+/// round-trip as a number. Large and finite, it instead trips any sane
+/// `est_penalty_max` threshold loudly.
+inline constexpr double kDegenerateEstPenalty = 1e9;
+
+/// The guarded penalty fold, exposed for tests and for any sweep that folds
+/// oracle/estimated efforts itself: effort_est / effort_oracle when the
+/// oracle sent (oracle_ticks > 0); 0 when neither run sent (the schema's
+/// "not applicable" value, as in pre-estimator rows); kDegenerateEstPenalty
+/// when only the estimated run sent.
+[[nodiscard]] double fold_est_penalty(double oracle_ticks, double estimated_ticks);
+
 /// An oracle/estimator pair over one cell and the effort ratio between them.
 struct PenaltyRun {
   core::ProtocolRun oracle;  ///< constants pinned to the true (c1, c2, d)
   EstimatedRun estimated;    ///< same environment, estimator-driven plans
-  double est_penalty = 0;    ///< effort_est / effort_oracle; 0 if oracle never sent
+  /// effort_est / effort_oracle via fold_est_penalty: 0 if neither run sent,
+  /// kDegenerateEstPenalty if only the oracle stayed silent.
+  double est_penalty = 0;
 };
 
 /// Runs the oracle first, then the estimated run, in the same environment

@@ -41,7 +41,12 @@ namespace rstp::obs {
 /// [1, count]; p clamped into [0, 100]). The one percentile kernel shared by
 /// Histogram::percentile, the dashboard's display fold, and the trace
 /// summary — callers map the returned index to their own value domain.
-/// `count` must equal the sum of the buckets; returns 0 when count is 0.
+/// Degenerate folds are part of the contract, not UB: an empty fold
+/// (count == 0 or size == 0) returns bucket 0, and when `count` exceeds the
+/// bucket sum — possible only for the dashboard's relaxed-atomic fold, where
+/// the count and the buckets are read at slightly different moments — the
+/// scan runs dry and clamps to the last bucket (size - 1). Coherent callers
+/// pass count == Σ buckets and never hit the clamp.
 [[nodiscard]] std::size_t nearest_rank_bucket(const std::uint64_t* buckets, std::size_t size,
                                               std::uint64_t count, double p);
 

@@ -40,6 +40,14 @@ struct RunMetricsRecord {
   /// pre-estimator JSONL files, which read back as zeros like gap_ratio.
   double est_penalty = 0;
   EstimatorGauges est{};
+  /// Multiplexed rows only (sim/multi_session.h): the number of sessions
+  /// folded into this record and the sustained simulated-events-per-second
+  /// throughput of the run that produced it. 0 on single-session rows — and
+  /// in pre-megasession JSONL files, which read back as 0 like gap_ratio.
+  /// events_per_sec is wall-clock (machine-dependent): it never becomes a
+  /// per-record diff cell, only the report aggregates consume it.
+  std::uint64_t sessions = 0;
+  double events_per_sec = 0;
   std::int64_t end_time = 0;   ///< simulated time of the last event, ticks
   bool correct = false;
   bool quiescent = false;

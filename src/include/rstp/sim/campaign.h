@@ -71,6 +71,17 @@ struct CampaignSpec {
   [[nodiscard]] std::size_t job_count() const;
 };
 
+/// The (environment seed, input seed) pair derived for one unit of a sweep —
+/// campaign job `index` under `campaign_seed`, or mega session `index` under
+/// the MultiSession base seed. SplitMix64 over root + index, environment seed
+/// drawn first: the shared derivation is what makes a MultiSession session
+/// reproducible as a standalone core::run_protocol call with the same seeds.
+struct DerivedSeeds {
+  std::uint64_t environment = 0;
+  std::uint64_t input = 0;
+};
+[[nodiscard]] DerivedSeeds derive_unit_seeds(std::uint64_t root, std::uint64_t index);
+
 /// One materialized cell of the grid.
 struct CampaignJob {
   std::size_t index = 0;

@@ -108,6 +108,35 @@ class Simulator {
   /// pending work and the channel empty) or to the event cap.
   [[nodiscard]] RunResult run();
 
+  // --- Incremental driving ---------------------------------------------------
+  // The multiplexed engine (sim/multi_session.h) interleaves many sessions on
+  // one clock by popping the session with the earliest next_instant() from a
+  // cross-session heap and advancing it one dispatch. The sequence
+  //   start(); while (next_instant()) advance(); take_result()
+  // is exactly run() — run() itself is implemented on top of these — so a
+  // session driven incrementally produces a bitwise-identical RunResult no
+  // matter how its dispatches interleave with other sessions'. The two APIs
+  // are mutually exclusive on one instance.
+
+  /// Validates and arms the run: configures the metric histograms and draws
+  /// both processes' first step offsets. May be called once.
+  void start();
+
+  /// The instant of the next pending dispatch: the earliest of the channel's
+  /// next delivery and both processes' next steps. nullopt when the run is
+  /// over — the event cap was reached or the session is globally quiescent.
+  /// Cached until the next advance(), so repeated calls are free.
+  [[nodiscard]] std::optional<Time> next_instant();
+
+  /// Applies exactly one dispatch at next_instant(): the due delivery batch
+  /// if one is pending, else the transmitter's step, else the receiver's.
+  /// Requires next_instant() to have a value.
+  void advance();
+
+  /// Folds the automata counters and the channel fault log into the result
+  /// and returns it. Requires next_instant() == nullopt; call once.
+  [[nodiscard]] RunResult take_result();
+
  private:
   struct ProcessState {
     ioa::Automaton* automaton = nullptr;
@@ -127,6 +156,10 @@ class Simulator {
 
   [[nodiscard]] const obs::ProtocolCounters* counters_of(ioa::ProcessId id) const;
 
+  /// True when nothing remains: event cap reached or globally quiescent.
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] std::optional<Time> compute_next_instant() const;
+
   channel::Channel* channel_;
   SimConfig config_;
   ProcessState procs_[2];  // indexed by ProcessId
@@ -136,6 +169,12 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   bool record_events_ = false;  ///< cached record_trace || observer
   bool ran_ = false;
+  bool taken_ = false;
+  /// Cached next_instant() (valid until the next advance()).
+  std::optional<Time> instant_;
+  bool instant_valid_ = false;
+  /// The in-progress result of the incremental API; run() uses it too.
+  RunResult result_;
 };
 
 }  // namespace rstp::sim

@@ -107,6 +107,10 @@ constexpr HistogramField kHistogramFields[] = {
   out.push_back(integral_quantity("end_time", static_cast<std::uint64_t>(r.end_time)));
   out.push_back(integral_quantity("correct", r.correct ? 1 : 0));
   out.push_back(integral_quantity("quiescent", r.quiescent ? 1 : 0));
+  // Megasession rows only (0 elsewhere). events_per_sec is deliberately NOT a
+  // cell quantity: it is wall-clock, so cell-exact comparison would trip on
+  // machine noise — the report gates it through the aggregates instead.
+  out.push_back(integral_quantity("sessions", r.sessions));
   for (const CounterField& f : kCounterFields) {
     out.push_back(integral_quantity(f.name, r.metrics.counters.*f.member));
   }
@@ -307,6 +311,10 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
   double new_penalty_max = 0;
   double old_delay_p[3] = {0, 0, 0};
   double new_delay_p[3] = {0, 0, 0};
+  std::uint64_t old_sessions = 0;
+  std::uint64_t new_sessions = 0;
+  double old_eps_sum = 0;
+  double new_eps_sum = 0;
 
   for (const auto& [key, old_record] : old_cells) {
     const auto it = new_cells.find(key);
@@ -333,6 +341,10 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
     new_penalty_sum += new_record.est_penalty;
     old_penalty_max = std::max(old_penalty_max, old_record->est_penalty);
     new_penalty_max = std::max(new_penalty_max, new_record.est_penalty);
+    old_sessions += old_record->sessions;
+    new_sessions += new_record.sessions;
+    old_eps_sum += old_record->events_per_sec;
+    new_eps_sum += new_record.events_per_sec;
     const double percentiles[3] = {50.0, 95.0, 99.0};
     for (std::size_t i = 0; i < 3; ++i) {
       const Histogram& old_h = old_record->metrics.data_delay;
@@ -387,6 +399,16 @@ DiffReport diff_metrics(const std::vector<RunMetricsRecord>& old_runs,
   add_floating("delay_p50", old_delay_p[0] / matched, new_delay_p[0] / matched);
   add_floating("delay_p95", old_delay_p[1] / matched, new_delay_p[1] / matched);
   add_floating("delay_p99", old_delay_p[2] / matched, new_delay_p[2] / matched);
+  add_integral("sessions_total", old_sessions, new_sessions);
+  add_floating("events_per_sec_mean", old_eps_sum / matched, new_eps_sum / matched);
+  // The gate only trips on positive deltas, so a throughput *decrease* is
+  // gated by reporting the percentage drop itself as the new value (same
+  // old=0/new=value construction as cells_changed below): 'events_per_sec_drop>N'
+  // fails when new throughput fell more than N% below old. 0 — and therefore
+  // inert — whenever the old side carries no throughput figures at all.
+  const double eps_drop =
+      old_eps_sum > 0 ? std::max(0.0, 100.0 * (1.0 - new_eps_sum / old_eps_sum)) : 0;
+  add_floating("events_per_sec_drop", 0, eps_drop);
   add_integral("cells_changed", 0, report.cells.size());
   add_integral("cells_missing", 0, report.missing.size());
   add_integral("cells_extra", 0, report.extra.size());

@@ -21,6 +21,9 @@ std::size_t nearest_rank_bucket(const std::uint64_t* buckets, std::size_t size,
     seen += buckets[i];
     if (seen >= rank) return i;
   }
+  // Reachable only when count > Σ buckets: the dashboard folds its relaxed
+  // atomics without a snapshot, so the count can lead the buckets by a few
+  // in-flight increments. Clamp to the last bucket — never past the array.
   return size - 1;
 }
 
@@ -338,12 +341,19 @@ namespace detail {
 
 void phase_push(Phase phase) {
   PhaseStack& stack = phase_stack;
+  // Depth saturates against the frame array but keeps counting: frames past
+  // kMaxPhaseDepth are dropped (their exits read as top-level), never written
+  // out of bounds.
   if (stack.depth < kMaxPhaseDepth) stack.frames[stack.depth] = phase;
   ++stack.depth;
 }
 
 void phase_exit(Phase phase, std::uint64_t start_ns) {
   PhaseStack& stack = phase_stack;
+  // Tolerates an empty stack (depth pins at 0 and the frame read below is
+  // guarded out), so a hook firing outside any ScopedPhaseTimer — or an
+  // unmatched exit from a moved-from timer — records as a top-level span
+  // instead of reading frames[-1]. obs_metrics_test pins this.
   if (stack.depth > 0) --stack.depth;
   const PhaseIds& ids = phase_ids();
   const auto i = static_cast<std::size_t>(phase);

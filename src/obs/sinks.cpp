@@ -87,6 +87,8 @@ void write_run_metrics_jsonl(std::ostream& os, const RunMetricsRecord& record) {
      << ",\"d_hat\":" << record.est.d_hat << ",\"gap_samples\":" << record.est.gap_samples
      << ",\"delay_samples\":" << record.est.delay_samples
      << ",\"resizes\":" << record.est.resizes << "}"
+     << ",\"sessions\":" << record.sessions
+     << ",\"events_per_sec\":" << json_number(record.events_per_sec)
      << ",\"end_time\":" << record.end_time
      << ",\"correct\":" << (record.correct ? "true" : "false")
      << ",\"quiescent\":" << (record.quiescent ? "true" : "false") << ",\"counters\":{"
@@ -150,6 +152,9 @@ std::vector<RunMetricsRecord> read_run_metrics_jsonl(std::istream& is) {
         record.est.delay_samples = est->u64_or("delay_samples", 0);
         record.est.resizes = est->u64_or("resizes", 0);
       }
+      // Multiplexed-run fields, absent before the megasession engine.
+      record.sessions = doc.u64_or("sessions", 0);
+      record.events_per_sec = doc.number_or("events_per_sec", 0);
       record.end_time = doc.i64_or("end_time", 0);
       record.correct = doc.bool_or("correct", false);
       record.quiescent = doc.bool_or("quiescent", false);

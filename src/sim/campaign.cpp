@@ -57,6 +57,14 @@ std::size_t CampaignSpec::job_count() const {
          seeds_per_cell * std::max<std::size_t>(1, drifts.size());
 }
 
+DerivedSeeds derive_unit_seeds(std::uint64_t root, std::uint64_t index) {
+  std::uint64_t state = root + index;
+  DerivedSeeds seeds;
+  seeds.environment = splitmix64(state);
+  seeds.input = splitmix64(state);
+  return seeds;
+}
+
 Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) { spec_.validate(); }
 
 CampaignJob Campaign::job(std::size_t index) const {
@@ -91,9 +99,10 @@ CampaignJob Campaign::job(std::size_t index) const {
   // Per-job deterministic streams: SplitMix64 over campaign_seed + index
   // yields the environment seed, then the input seed. A job's randomness
   // depends only on (campaign_seed, index) — never on which worker ran it.
-  std::uint64_t state = spec_.campaign_seed + static_cast<std::uint64_t>(index);
-  job.environment.seed = splitmix64(state);
-  job.input_seed = splitmix64(state);
+  const DerivedSeeds seeds =
+      derive_unit_seeds(spec_.campaign_seed, static_cast<std::uint64_t>(index));
+  job.environment.seed = seeds.environment;
+  job.input_seed = seeds.input;
   return job;
 }
 

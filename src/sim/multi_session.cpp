@@ -1,0 +1,340 @@
+#include "rstp/sim/multi_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rstp/channel/channel.h"
+#include "rstp/common/check.h"
+#include "rstp/common/rng.h"
+#include "rstp/obs/metrics.h"
+#include "rstp/sim/scheduler.h"
+#include "rstp/sim/simulator.h"
+
+namespace rstp::sim {
+
+namespace {
+
+/// Global-registry slots the multiplexed engine reports into (same idempotent
+/// lookup pattern as the campaign engine's ids).
+struct MetricsRegistryIds {
+  obs::MetricsRegistry::MetricId sessions = obs::global_registry().counter("mega/sessions");
+  obs::MetricsRegistry::MetricId events = obs::global_registry().counter("mega/events");
+  obs::MetricsRegistry::MetricId max_sessions =
+      obs::global_registry().gauge("mega/max_sessions_per_run");
+};
+
+/// One materialized session in a shard's arena: the automata pair, its
+/// private environment (schedulers + channel), and the incremental Simulator
+/// driving them. Every pointee is heap-allocated and the slot vector is
+/// exactly reserved, so the Simulator's internal pointers stay valid for the
+/// shard's whole loop.
+struct SessionSlot {
+  protocols::ProtocolInstance instance;
+  std::unique_ptr<StepScheduler> t_sched;
+  std::unique_ptr<StepScheduler> r_sched;
+  std::unique_ptr<channel::Channel> channel;
+  std::vector<ioa::Bit> input;
+  std::optional<Simulator> sim;
+  RunResult result;
+};
+
+/// Builds session `session_id` in place. The wiring — and, critically, the
+/// seed draw order (transmitter scheduler, receiver scheduler, delivery
+/// policy from Rng{environment seed}) — mirrors core::run_protocol exactly,
+/// so the session is reproducible as a standalone run with the same derived
+/// seeds (megasession_test asserts this).
+void materialize_session(const MultiSessionSpec& spec, std::uint64_t session_id,
+                         SessionSlot& slot) {
+  const DerivedSeeds seeds = derive_unit_seeds(spec.base_seed, session_id);
+
+  protocols::ProtocolConfig config;
+  config.params = spec.params;
+  config.k = spec.k;
+  config.input = core::make_random_input(spec.input_bits, seeds.input);
+  slot.instance = protocols::make_protocol(spec.protocol, config);
+  slot.input = std::move(config.input);
+
+  Rng seeder{seeds.environment};
+  slot.t_sched =
+      core::make_scheduler(spec.environment.transmitter_sched, spec.params, seeder.next_u64());
+  slot.r_sched =
+      core::make_scheduler(spec.environment.receiver_sched, spec.params, seeder.next_u64());
+  slot.channel = std::make_unique<channel::Channel>(
+      spec.params.d, core::make_delivery_policy(spec.environment.delay, spec.params,
+                                                seeder.next_u64()));
+
+  SimConfig sim_config;
+  sim_config.params = spec.params;
+  sim_config.record_trace = false;
+  sim_config.max_events = spec.max_events_per_session;
+  slot.sim.emplace(*slot.instance.transmitter, *slot.instance.receiver, *slot.channel,
+                   *slot.t_sched, *slot.r_sched, std::move(sim_config));
+}
+
+/// One shard's session-order fold. Effort is accumulated in integer ticks
+/// (all sessions share input_bits, so mean = Σticks / (bits · senders)):
+/// integer addition is associative, which is what makes the merged fold
+/// invariant to the shard count, not just the thread count.
+struct ShardFold {
+  std::uint64_t sessions = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t quiescent = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t effort_sessions = 0;  ///< sessions with t(last-send) > 0
+  std::uint64_t effort_ticks_sum = 0;
+  std::int64_t effort_ticks_min = 0;
+  std::int64_t effort_ticks_max = 0;
+  obs::RunMetrics metrics;
+  bool metrics_valid = false;  ///< false only for an empty shard
+};
+
+void fold_effort_ticks(ShardFold& fold, std::int64_t ticks, std::uint64_t weight,
+                       std::int64_t min_ticks, std::int64_t max_ticks) {
+  if (fold.effort_sessions == 0) {
+    fold.effort_ticks_min = min_ticks;
+    fold.effort_ticks_max = max_ticks;
+  } else {
+    fold.effort_ticks_min = std::min(fold.effort_ticks_min, min_ticks);
+    fold.effort_ticks_max = std::max(fold.effort_ticks_max, max_ticks);
+  }
+  fold.effort_ticks_sum += static_cast<std::uint64_t>(ticks);
+  fold.effort_sessions += weight;
+}
+
+void fold_metrics(ShardFold& fold, const obs::RunMetrics& metrics) {
+  if (!fold.metrics_valid) {
+    // First session in the fold: adopt its metrics wholesale (this also
+    // carries the histogram layouts — one TimingParams per spec, so every
+    // later merge sees an identical layout).
+    fold.metrics = metrics;
+    fold.metrics_valid = true;
+    return;
+  }
+  fold.metrics.counters += metrics.counters;
+  fold.metrics.data_delay.merge(metrics.data_delay);
+  fold.metrics.ack_delay.merge(metrics.ack_delay);
+  fold.metrics.transmitter_gap.merge(metrics.transmitter_gap);
+  fold.metrics.receiver_gap.merge(metrics.receiver_gap);
+}
+
+/// Runs sessions [lo, hi) to completion on one cross-session event heap and
+/// returns their session-order fold.
+ShardFold run_shard(const MultiSessionSpec& spec, std::uint64_t lo, std::uint64_t hi) {
+  const auto count = static_cast<std::size_t>(hi - lo);
+
+  // The arena: materialize every session once, into one exactly-reserved
+  // contiguous vector, before the loop starts. From here on the per-dispatch
+  // path allocates nothing (channel heaps reuse their buffers; heap entries
+  // are PODs in a pre-reserved vector).
+  std::vector<SessionSlot> slots;
+  slots.reserve(count);
+  for (std::uint64_t s = lo; s < hi; ++s) {
+    slots.emplace_back();
+    materialize_session(spec, s, slots.back());
+  }
+
+  // The cross-session event heap: (next dispatch instant, local session
+  // index). The index tiebreak keeps simultaneous sessions in session order —
+  // a deterministic choice, though sessions are independent, so the pop order
+  // cannot change any per-session result bit either way.
+  struct HeapEntry {
+    Time at{};
+    std::uint32_t idx = 0;
+  };
+  const auto later = [](const HeapEntry& a, const HeapEntry& b) {
+    if (b.at < a.at) return true;
+    if (a.at < b.at) return false;
+    return b.idx < a.idx;
+  };
+
+  std::vector<HeapEntry> heap;
+  heap.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Simulator& sim = *slots[i].sim;
+    sim.start();
+    if (const std::optional<Time> at = sim.next_instant()) {
+      heap.push_back(HeapEntry{*at, i});
+    } else {
+      slots[i].result = sim.take_result();
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    HeapEntry entry = heap.back();
+    heap.pop_back();
+    Simulator& sim = *slots[entry.idx].sim;
+    sim.advance();
+    if (const std::optional<Time> at = sim.next_instant()) {
+      entry.at = *at;
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end(), later);
+    } else {
+      slots[entry.idx].result = sim.take_result();
+    }
+  }
+
+  // Fold in session order (slot order IS session order within the shard).
+  ShardFold fold;
+  for (const SessionSlot& slot : slots) {
+    const RunResult& r = slot.result;
+    ++fold.sessions;
+    if (r.output == slot.input) ++fold.correct;
+    if (r.quiescent) ++fold.quiescent;
+    fold.total_events += r.event_count;
+    if (spec.input_bits > 0 && r.last_transmitter_send.has_value()) {
+      const std::int64_t ticks = (*r.last_transmitter_send - Time::zero()).ticks();
+      // Same "sent at least once" criterion as the campaign fold: a last
+      // send at t=0 reports effort 0 and does not count as a sender.
+      if (ticks > 0) fold_effort_ticks(fold, ticks, 1, ticks, ticks);
+    }
+    fold_metrics(fold, r.metrics);
+  }
+  return fold;
+}
+
+}  // namespace
+
+void MultiSessionSpec::validate() const {
+  params.validate();
+  RSTP_CHECK_GE(k, 2u, "mega needs k >= 2");
+  RSTP_CHECK_GE(sessions, std::uint64_t{1}, "mega needs at least one session");
+  RSTP_CHECK_GE(shards, 1u, "mega needs at least one shard");
+  RSTP_CHECK_GE(max_events_per_session, std::uint64_t{1}, "mega needs a positive event cap");
+}
+
+MultiSession::MultiSession(MultiSessionSpec spec) : spec_(std::move(spec)) { spec_.validate(); }
+
+MultiSessionResult MultiSession::run(unsigned threads) const {
+  const std::uint64_t n = spec_.sessions;
+  const std::uint64_t shard_count = spec_.shards;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const auto workers = static_cast<unsigned>(std::min<std::uint64_t>(threads, shard_count));
+
+  // Contiguous shard ranges via remainder spreading: the first n % shards
+  // shards get one extra session. Ranges depend only on (sessions, shards).
+  const std::uint64_t base = n / shard_count;
+  const std::uint64_t extra = n % shard_count;
+  const auto shard_lo = [&](std::uint64_t s) { return s * base + std::min(s, extra); };
+
+  std::vector<ShardFold> folds(static_cast<std::size_t>(shard_count));
+
+  // Work stealing over shards: each worker atomically claims the next shard
+  // and writes only its own fold slot, so the serial shard-order merge below
+  // sees identical inputs for every thread count.
+  std::atomic<std::uint64_t> cursor{0};
+  std::atomic<bool> died{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&]() {
+    try {
+      while (!died.load(std::memory_order_relaxed)) {
+        const std::uint64_t s = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (s >= shard_count) break;
+        folds[static_cast<std::size_t>(s)] = run_shard(spec_, shard_lo(s), shard_lo(s + 1));
+      }
+    } catch (...) {
+      const std::scoped_lock lock{error_mutex};
+      if (!first_error) first_error = std::current_exception();
+      died.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Serial merge in shard order. Shards cover contiguous session ranges in
+  // order and every fold operation here is associative (integer sums, min,
+  // max, histogram bucket adds), so the merged result is the session-order
+  // fold — independent of both the thread count and the shard count.
+  MultiSessionResult result;
+  ShardFold merged;
+  for (const ShardFold& f : folds) {
+    merged.sessions += f.sessions;
+    merged.correct += f.correct;
+    merged.quiescent += f.quiescent;
+    merged.total_events += f.total_events;
+    if (f.effort_sessions > 0) {
+      fold_effort_ticks(merged, static_cast<std::int64_t>(f.effort_ticks_sum),
+                        f.effort_sessions, f.effort_ticks_min, f.effort_ticks_max);
+    }
+    if (f.metrics_valid) fold_metrics(merged, f.metrics);
+  }
+  result.sessions = merged.sessions;
+  result.correct_sessions = merged.correct;
+  result.quiescent_sessions = merged.quiescent;
+  result.total_events = merged.total_events;
+  result.metrics = merged.metrics;
+  if (merged.effort_sessions > 0 && spec_.input_bits > 0) {
+    const auto bits = static_cast<double>(spec_.input_bits);
+    result.effort.min = static_cast<double>(merged.effort_ticks_min) / bits;
+    result.effort.max = static_cast<double>(merged.effort_ticks_max) / bits;
+    result.effort.mean = static_cast<double>(merged.effort_ticks_sum) /
+                         (bits * static_cast<double>(merged.effort_sessions));
+  }
+  result.elapsed_seconds = elapsed;
+  if (elapsed > 0) {
+    result.events_per_sec = static_cast<double>(result.total_events) / elapsed;
+  }
+
+  const MetricsRegistryIds registry_ids;
+  obs::global_registry().add(registry_ids.sessions, result.sessions);
+  obs::global_registry().add(registry_ids.events, result.total_events);
+  obs::global_registry().gauge_max(registry_ids.max_sessions, result.sessions);
+  return result;
+}
+
+obs::RunMetricsRecord multi_session_metrics_record(const MultiSessionSpec& spec,
+                                                   const MultiSessionResult& result) {
+  obs::RunMetricsRecord record;
+  record.protocol = protocols::to_string(spec.protocol);
+  record.c1 = spec.params.c1.ticks();
+  record.c2 = spec.params.c2.ticks();
+  record.d = spec.params.d.ticks();
+  record.k = spec.k;
+  record.input_bits = spec.input_bits;
+  record.seed = spec.base_seed;
+  record.effort = result.effort.mean;
+  record.correct = result.correct_sessions == result.sessions;
+  record.quiescent = result.quiescent_sessions == result.sessions;
+  record.metrics = result.metrics;
+  record.sessions = result.sessions;
+  record.events_per_sec = result.events_per_sec;
+  return record;
+}
+
+MultiSessionSpec golden_megasession_spec() {
+  MultiSessionSpec spec;
+  spec.params.c1 = Duration{1};
+  spec.params.c2 = Duration{2};
+  spec.params.d = Duration{4};
+  spec.sessions = 10'000;
+  spec.base_seed = 0x3E6A;
+  return spec;
+}
+
+}  // namespace rstp::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "rstp/common/check.h"
 #include "rstp/est/estimator.h"
@@ -230,86 +231,131 @@ void Simulator::take_process_step(RunResult& result, ProcessState& ps, ProcessId
   ps.next_step = ps.next_step + validated_gap(id, *ps.scheduler, ps.steps_taken);
 }
 
-RunResult Simulator::run() {
-  RSTP_CHECK(!ran_, "Simulator::run may be called once");
+void Simulator::start() {
+  RSTP_CHECK(!ran_, "Simulator::start/run may be called once");
   ran_ = true;
 
-  RunResult result;
   // Histogram windows come from the model: delivery delays live in [0, d],
   // realized step gaps in [c1, c2] (a stop/resume gap clamps into the top
   // bucket; min()/max() keep the true extremes).
   const std::int64_t d = config_.params.d.ticks();
-  result.metrics.data_delay = obs::Histogram(0, d);
-  result.metrics.ack_delay = obs::Histogram(0, d);
-  result.metrics.transmitter_gap =
+  result_.metrics.data_delay = obs::Histogram(0, d);
+  result_.metrics.ack_delay = obs::Histogram(0, d);
+  result_.metrics.transmitter_gap =
       obs::Histogram(0, params_for(ProcessId::Transmitter).c2.ticks());
-  result.metrics.receiver_gap = obs::Histogram(0, params_for(ProcessId::Receiver).c2.ticks());
+  result_.metrics.receiver_gap = obs::Histogram(0, params_for(ProcessId::Receiver).c2.ticks());
   if (config_.record_trace) {
     // Executions are usually far longer than this; one up-front chunk keeps
     // the first reallocation doublings off the hot path without committing
     // max_events worth of memory.
-    result.trace.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(config_.max_events,
-                                                                          4096)));
+    result_.trace.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(config_.max_events,
+                                                                           4096)));
   }
   ProcessState& t = procs_[index_of(ProcessId::Transmitter)];
   ProcessState& r = procs_[index_of(ProcessId::Receiver)];
   t.next_step = Time::zero() + validated_gap(ProcessId::Transmitter, *t.scheduler, 0);
   r.next_step = Time::zero() + validated_gap(ProcessId::Receiver, *r.scheduler, 0);
+}
 
-  while (result.event_count < config_.max_events) {
-    // Global quiescence: nothing in flight and both processes have nothing
-    // (non-trivial) left to do.
-    const bool t_idle = t.stopped || t.automaton->quiescent();
-    const bool r_idle = r.stopped || r.automaton->quiescent();
-    if (channel_->empty() && t_idle && r_idle) {
-      result.quiescent = true;
-      break;
-    }
+bool Simulator::finished() const {
+  if (result_.event_count >= config_.max_events) return true;
+  // Global quiescence: nothing in flight and both processes have nothing
+  // (non-trivial) left to do.
+  const ProcessState& t = procs_[index_of(ProcessId::Transmitter)];
+  const ProcessState& r = procs_[index_of(ProcessId::Receiver)];
+  const bool t_idle = t.stopped || t.automaton->quiescent();
+  const bool r_idle = r.stopped || r.automaton->quiescent();
+  return channel_->empty() && t_idle && r_idle;
+}
 
-    // Earliest pending instant among deliveries and process steps; at equal
-    // times deliveries go first, then the transmitter, then the receiver.
-    const std::optional<Time> delivery = channel_->next_delivery_time();
-    Time now = Time::max();
-    if (delivery.has_value()) now = std::min(now, *delivery);
-    if (!t.stopped) now = std::min(now, t.next_step);
-    if (!r.stopped) now = std::min(now, r.next_step);
-    RSTP_CHECK(now != Time::max(), "no pending events but not quiescent");
-
-    if (delivery.has_value() && *delivery <= now) {
-      deliver_due(result, now);
-      continue;
-    }
-    if (!t.stopped && t.next_step <= now) {
-      take_process_step(result, t, ProcessId::Transmitter);
-      continue;
-    }
-    if (!r.stopped && r.next_step <= now) {
-      take_process_step(result, r, ProcessId::Receiver);
-      continue;
-    }
-    RSTP_UNREACHABLE("event selection failed");
+std::optional<Time> Simulator::next_instant() {
+  RSTP_CHECK(ran_, "next_instant requires start()");
+  // Cached between calls so the run() loop (and a heap-driven MultiSession,
+  // which reads the instant once to key its heap and again in advance())
+  // pays one quiescence check + min fold per dispatch, like the original
+  // monolithic loop. advance() invalidates it.
+  if (!instant_valid_) {
+    instant_ = compute_next_instant();
+    instant_valid_ = true;
   }
+  return instant_;
+}
+
+std::optional<Time> Simulator::compute_next_instant() const {
+  if (finished()) return std::nullopt;
+  // Earliest pending instant among deliveries and process steps; at equal
+  // times deliveries go first, then the transmitter, then the receiver.
+  const ProcessState& t = procs_[index_of(ProcessId::Transmitter)];
+  const ProcessState& r = procs_[index_of(ProcessId::Receiver)];
+  const std::optional<Time> delivery = channel_->next_delivery_time();
+  Time now = Time::max();
+  if (delivery.has_value()) now = std::min(now, *delivery);
+  if (!t.stopped) now = std::min(now, t.next_step);
+  if (!r.stopped) now = std::min(now, r.next_step);
+  RSTP_CHECK(now != Time::max(), "no pending events but not quiescent");
+  return now;
+}
+
+void Simulator::advance() {
+  const std::optional<Time> instant = next_instant();
+  RSTP_CHECK(instant.has_value(), "advance() past the end of the run");
+  instant_valid_ = false;
+  const Time now = *instant;
+  ProcessState& t = procs_[index_of(ProcessId::Transmitter)];
+  ProcessState& r = procs_[index_of(ProcessId::Receiver)];
+  const std::optional<Time> delivery = channel_->next_delivery_time();
+  if (delivery.has_value() && *delivery <= now) {
+    deliver_due(result_, now);
+    return;
+  }
+  if (!t.stopped && t.next_step <= now) {
+    take_process_step(result_, t, ProcessId::Transmitter);
+    return;
+  }
+  if (!r.stopped && r.next_step <= now) {
+    take_process_step(result_, r, ProcessId::Receiver);
+    return;
+  }
+  RSTP_UNREACHABLE("event selection failed");
+}
+
+RunResult Simulator::take_result() {
+  RSTP_CHECK(ran_ && !taken_, "take_result requires a finished, untaken run");
+  RSTP_CHECK(finished(), "take_result before the run is over");
+  taken_ = true;
+  // The loop in run() exits via the cap check before the quiescence check,
+  // so a run that hits the cap reports quiescent=false even if the final
+  // dispatch happened to reach quiescence too.
+  result_.quiescent = result_.event_count < config_.max_events;
   // Fold in the automata's own counters (the ProtocolBase stat-hook).
   // Automata outside the protocol hierarchy simply contribute nothing.
   for (const ProcessState& ps : procs_) {
     if (const auto* source = dynamic_cast<const obs::CounterSource*>(ps.automaton)) {
-      result.metrics.counters.protocol += source->protocol_counters();
+      result_.metrics.counters.protocol += source->protocol_counters();
     }
   }
   // Channel-level injected faults (empty without an injector). Drops count
   // into the same loss counters as drop_every_nth — both are packets the
   // automaton sent that never entered flight.
-  result.faults = channel_->fault_log();
-  for (const fault::FaultEvent& f : result.faults) {
+  result_.faults = channel_->fault_log();
+  for (const fault::FaultEvent& f : result_.faults) {
     if (f.kind == fault::FaultKind::Drop) {
-      ++result.dropped_packets;
-      ++result.metrics.counters.dropped;
+      ++result_.dropped_packets;
+      ++result_.metrics.counters.dropped;
     }
   }
   if (config_.tracer != nullptr) {
-    config_.tracer->on_finish(result.end_time, result.faults);
+    config_.tracer->on_finish(result_.end_time, result_.faults);
   }
-  return result;
+  return std::move(result_);
+}
+
+RunResult Simulator::run() {
+  start();
+  while (next_instant().has_value()) {
+    advance();
+  }
+  return take_result();
 }
 
 }  // namespace rstp::sim

@@ -5,6 +5,8 @@
 // its bitwise determinism across thread counts.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "rstp/common/check.h"
 #include "rstp/common/rng.h"
 #include "rstp/core/drift.h"
@@ -269,6 +271,20 @@ TEST(GoldenGrid, DisabledEstimatorMatchesThePlainRunner) {
   const EstimatedRun est = run_estimated(ProtocolKind::Gamma, cfg, env, core::DriftSpec{}, false);
   EXPECT_EQ(plain.result.trace.events(), est.run.result.trace.events());
   EXPECT_EQ(est.gauges, obs::EstimatorGauges{});
+}
+
+TEST(PenaltyFold, GuardsTheZeroOracleDenominator) {
+  // The healthy path: a plain ratio.
+  EXPECT_DOUBLE_EQ(fold_est_penalty(200.0, 300.0), 1.5);
+  EXPECT_DOUBLE_EQ(fold_est_penalty(100.0, 50.0), 0.5);  // below 1 is legitimate
+  // Neither run sent: 0, the schema's "not applicable" value.
+  EXPECT_DOUBLE_EQ(fold_est_penalty(0.0, 0.0), 0.0);
+  // Only the oracle stayed silent: the raw ratio would be inf — the fold
+  // must hand back the finite sentinel instead so est_penalty_max gates trip
+  // loudly rather than choking on a non-finite JSON value.
+  EXPECT_DOUBLE_EQ(fold_est_penalty(0.0, 300.0), kDegenerateEstPenalty);
+  EXPECT_TRUE(std::isfinite(fold_est_penalty(0.0, 300.0)));
+  EXPECT_TRUE(std::isfinite(kDegenerateEstPenalty));
 }
 
 }  // namespace

@@ -275,5 +275,65 @@ TEST(NestedPhaseTimers, TimersOnOrOffLeaveRunMetricsBitwiseIdentical) {
   EXPECT_EQ(untimed, timed);
 }
 
+TEST(NearestRankBucket, EmptyAndAllZeroFoldsReturnBucketZero) {
+  const std::uint64_t zeros[4] = {0, 0, 0, 0};
+  EXPECT_EQ(obs::nearest_rank_bucket(zeros, 4, 0, 95.0), 0u);    // empty fold
+  EXPECT_EQ(obs::nearest_rank_bucket(zeros, 0, 0, 50.0), 0u);    // no buckets at all
+  EXPECT_EQ(obs::nearest_rank_bucket(zeros, 0, 7, 50.0), 0u);    // size 0 wins over count
+}
+
+TEST(NearestRankBucket, CountExceedingTheBucketSumClampsToTheLastBucket) {
+  // The dashboard folds relaxed atomics without a snapshot, so the count can
+  // lead the buckets by in-flight increments; all-zero buckets under a
+  // nonzero count is the extreme case. The scan must run dry into the last
+  // bucket, never past the array.
+  const std::uint64_t zeros[3] = {0, 0, 0};
+  EXPECT_EQ(obs::nearest_rank_bucket(zeros, 3, 10, 0.0), 2u);
+  EXPECT_EQ(obs::nearest_rank_bucket(zeros, 3, 10, 100.0), 2u);
+  const std::uint64_t partial[3] = {1, 1, 0};
+  EXPECT_EQ(obs::nearest_rank_bucket(partial, 3, 5, 99.0), 2u);  // rank 5 > sum 2
+}
+
+TEST(NearestRankBucket, PercentileArgumentClampsInto0To100) {
+  const std::uint64_t buckets[3] = {5, 3, 2};
+  EXPECT_EQ(obs::nearest_rank_bucket(buckets, 3, 10, -50.0), 0u);  // rank clamps up to 1
+  EXPECT_EQ(obs::nearest_rank_bucket(buckets, 3, 10, 500.0), 2u);  // rank clamps to count
+}
+
+TEST(PhaseStack, ExitOnAnEmptyStackRecordsTopLevelInsteadOfUnderflowing) {
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(true);
+  // A hook firing with no enclosing ScopedPhaseTimer (or an unmatched exit):
+  // depth pins at 0, the frames[depth - 1] read is guarded out, and the span
+  // lands in the phase's top-level slot.
+  const std::uint64_t start = obs::detail::phase_now_ns();
+  obs::detail::phase_exit(obs::Phase::CodecRank, start);
+  obs::detail::phase_exit(obs::Phase::CodecRank, start);  // still safe when repeated
+  obs::set_phase_timing_enabled(false);
+  const auto totals = obs::collect_phase_totals();
+  EXPECT_EQ(flat_calls(totals, obs::Phase::CodecRank), 2u);
+  EXPECT_TRUE(obs::collect_phase_edge_totals().empty());  // nothing read as nested
+  obs::reset_phase_totals();
+}
+
+void nest_timers(int depth) {
+  if (depth == 0) return;
+  const obs::ScopedPhaseTimer t{obs::Phase::SimStep};
+  nest_timers(depth - 1);
+}
+
+TEST(PhaseStack, OverflowingTheFrameCapacityStaysSafeAndBalanced) {
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(true);
+  // 40 nested timers, well past the 16-frame capacity: pushes beyond it drop
+  // their frames (never write out of bounds), the saturated depth still
+  // counts, and every exit is recorded — the stack rebalances on unwind.
+  nest_timers(40);
+  obs::set_phase_timing_enabled(false);
+  const auto totals = obs::collect_phase_totals();
+  EXPECT_EQ(flat_calls(totals, obs::Phase::SimStep), 40u);
+  obs::reset_phase_totals();
+}
+
 }  // namespace
 }  // namespace rstp

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rstp/est/runner.h"
 #include "rstp/obs/json.h"
 
 #include <cmath>
@@ -299,6 +300,86 @@ TEST(JsonStrings, LoneOrMismatchedSurrogatesAreRejected) {
   EXPECT_THROW((void)parse_json(R"("\uD800\uD800")"), JsonParseError);  // high + high
   EXPECT_THROW((void)parse_json(R"("\uD800\u0041")"), JsonParseError);  // high + escaped BMP
   EXPECT_THROW((void)parse_json(R"("\uD800x")"), JsonParseError);       // high + raw char
+}
+
+TEST(MegasessionFields, SessionsIsACellQuantityButEventsPerSecIsNot) {
+  std::vector<RunMetricsRecord> old_runs = {make_record("alpha", 1, 100)};
+  std::vector<RunMetricsRecord> new_runs = {make_record("alpha", 1, 100)};
+  old_runs[0].sessions = 100;
+  old_runs[0].events_per_sec = 5e6;
+  new_runs[0].sessions = 200;
+  new_runs[0].events_per_sec = 1e6;  // 80% slower — but wall clock, no cell delta
+
+  const DiffReport report = diff_metrics(old_runs, new_runs);
+  ASSERT_EQ(report.cells.size(), 1u);
+  bool saw_sessions = false;
+  for (const QuantityDelta& d : report.cells[0].deltas) {
+    EXPECT_NE(d.name, "events_per_sec");  // machine-dependent: aggregate-only
+    if (d.name == "sessions") {
+      saw_sessions = true;
+      EXPECT_EQ(d.old_u, 100u);
+      EXPECT_EQ(d.new_u, 200u);
+    }
+  }
+  EXPECT_TRUE(saw_sessions);
+
+  const QuantityDelta* total = report.find_aggregate("sessions_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->old_u, 100u);
+  EXPECT_EQ(total->new_u, 200u);
+  const QuantityDelta* mean = report.find_aggregate("events_per_sec_mean");
+  ASSERT_NE(mean, nullptr);
+  EXPECT_DOUBLE_EQ(mean->old_v, 5e6);
+  EXPECT_DOUBLE_EQ(mean->new_v, 1e6);
+}
+
+TEST(MegasessionFields, ThroughputDropGatesAsAPositiveDelta) {
+  // The gate only trips on positive deltas, so the drop itself is the
+  // aggregate's new value: old 5e6 -> new 1e6 is an 80% drop.
+  std::vector<RunMetricsRecord> old_runs = {make_record("alpha", 1, 100)};
+  std::vector<RunMetricsRecord> new_runs = {make_record("alpha", 1, 100)};
+  old_runs[0].events_per_sec = 5e6;
+  new_runs[0].events_per_sec = 1e6;
+  const DiffReport report = diff_metrics(old_runs, new_runs);
+  const QuantityDelta* drop = report.find_aggregate("events_per_sec_drop");
+  ASSERT_NE(drop, nullptr);
+  EXPECT_DOUBLE_EQ(drop->new_v, 80.0);
+
+  EXPECT_TRUE(evaluate_thresholds(report, parse_thresholds("events_per_sec_drop>95")).empty());
+  ASSERT_EQ(evaluate_thresholds(report, parse_thresholds("events_per_sec_drop>50")).size(), 1u);
+
+  // A throughput *increase* reports drop 0 and can never trip.
+  const DiffReport faster = diff_metrics(new_runs, old_runs);
+  EXPECT_DOUBLE_EQ(faster.find_aggregate("events_per_sec_drop")->new_v, 0.0);
+  EXPECT_TRUE(evaluate_thresholds(faster, parse_thresholds("events_per_sec_drop>=0")).empty());
+}
+
+TEST(MegasessionFields, DropGateIsInertWithoutBaselineThroughput) {
+  // Pre-megasession baselines carry no events_per_sec at all; the drop
+  // aggregate must stay 0 (unchanged) so existing golden gates — which
+  // require EVERY aggregate unchanged on a rerun — still hold.
+  const std::vector<RunMetricsRecord> old_runs = {make_record("alpha", 1, 100)};
+  std::vector<RunMetricsRecord> new_runs = {make_record("alpha", 1, 100)};
+  new_runs[0].events_per_sec = 1e6;  // new side alone cannot define a drop
+  const DiffReport report = diff_metrics(old_runs, new_runs);
+  const QuantityDelta* drop = report.find_aggregate("events_per_sec_drop");
+  ASSERT_NE(drop, nullptr);
+  EXPECT_FALSE(drop->changed());
+  EXPECT_TRUE(evaluate_thresholds(report, parse_thresholds("events_per_sec_drop>0")).empty());
+}
+
+TEST(MegasessionFields, DegenerateEstPenaltySentinelTripsTheMaxGateFinite) {
+  // The satellite guard: a degenerate oracle (never sent) reports the large
+  // finite sentinel, which must trip est_penalty_max as a normal violation —
+  // not leak inf/NaN through the gate arithmetic.
+  std::vector<RunMetricsRecord> old_runs = {make_record("beta", 1, 100)};
+  std::vector<RunMetricsRecord> new_runs = {make_record("beta", 1, 100)};
+  new_runs[0].est_penalty = est::kDegenerateEstPenalty;
+  const DiffReport report = diff_metrics(old_runs, new_runs);
+  const auto violations = evaluate_thresholds(report, parse_thresholds("est_penalty_max>1.5"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_TRUE(std::isfinite(violations[0].observed));
+  EXPECT_DOUBLE_EQ(violations[0].observed, est::kDegenerateEstPenalty);
 }
 
 }  // namespace

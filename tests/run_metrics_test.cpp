@@ -169,6 +169,34 @@ TEST(MetricsSinks, MalformedLinesAreRejectedWithTheLineNumber) {
   EXPECT_THROW((void)obs::read_run_metrics_jsonl(wrong_schema), obs::JsonParseError);
 }
 
+TEST(MetricsSinks, MegasessionFieldsRoundTripExactly) {
+  obs::RunMetricsRecord record = sample_record(ProtocolKind::Gamma, 9);
+  record.sessions = 12345;
+  record.events_per_sec = 2.5e6;
+  std::ostringstream out;
+  obs::write_run_metrics_jsonl(out, record);
+  EXPECT_NE(out.str().find("\"sessions\":12345"), std::string::npos) << out.str();
+
+  std::istringstream in{out.str()};
+  const std::vector<obs::RunMetricsRecord> parsed = obs::read_run_metrics_jsonl(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], record);  // operator== covers sessions/events_per_sec
+}
+
+TEST(MetricsSinks, LegacyLinesWithoutSessionFieldsParseAsZero) {
+  // Pre-megasession baselines lack the sessions/events_per_sec keys; they
+  // must read back as 0 (single-session convention), not fail to parse.
+  std::istringstream legacy{
+      "{\"schema\":\"rstp-run-metrics-v1\",\"protocol\":\"alpha\",\"c1\":1,\"c2\":2,"
+      "\"d\":4,\"k\":2,\"input_bits\":8,\"seed\":7,\"effort\":1.5,\"end_time\":10,"
+      "\"correct\":true,\"quiescent\":true,\"counters\":{\"events\":3},\"hist\":{}}\n"};
+  const std::vector<obs::RunMetricsRecord> parsed = obs::read_run_metrics_jsonl(legacy);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].sessions, 0u);
+  EXPECT_DOUBLE_EQ(parsed[0].events_per_sec, 0.0);
+  EXPECT_EQ(parsed[0].seed, 7u);
+}
+
 TEST(MetricsSinks, TableRendersOneRowPerRunAndATotalsLine) {
   std::vector<obs::RunMetricsRecord> records;
   records.push_back(sample_record(ProtocolKind::Gamma, 5));

@@ -40,6 +40,16 @@
 //       degrades to the one-line progress mode (never ANSI). --no-dashboard
 //       wins over --dashboard. Display never touches the result.
 //
+//   rstp mega [--sessions N] [--shards N] [--threads N] [--protocol P]
+//             [--k K] [--bits N] [--seed N] [--max-events N]
+//             [--metrics-out FILE]
+//       Run N multiplexed sessions on one simulated clock (the
+//       million-session engine, sim/multi_session.h). Defaults are the
+//       golden megasession cell, so `rstp mega --sessions 10000
+//       --metrics-out F` regenerates tests/golden/megasession_baseline.jsonl.
+//       Appends ONE JSONL row — the session-order fold — carrying the
+//       `sessions` and `events_per_sec` schema fields.
+//
 //   rstp report <metrics.jsonl>
 //       Render a metrics JSONL file (from --metrics-out) as a table.
 //
@@ -125,6 +135,7 @@
 #include "rstp/protocols/factory.h"
 #include "rstp/sim/adversary.h"
 #include "rstp/sim/campaign_bench.h"
+#include "rstp/sim/multi_session.h"
 #include "rstp/sim/fuzz.h"
 
 namespace {
@@ -144,6 +155,9 @@ int usage() {
                "  rstp bench   [--json PATH] [--threads N]... [--metrics-out FILE]\n"
                "  rstp campaign [--metrics-out FILE] [--threads N] [--dashboard]"
                " [--no-dashboard] [--estimator[=margin]] [--drift SPEC]\n"
+               "  rstp mega    [--sessions N] [--shards N] [--threads N]"
+               " [--protocol P] [--k K] [--bits N] [--seed N] [--max-events N]"
+               " [--metrics-out FILE]\n"
                "  rstp report  <metrics.jsonl>\n"
                "  rstp report  <old.jsonl> <new.jsonl> [--json] [--fail-on SPEC]\n"
                "  rstp fuzz    <protocol> [--seed N] [--budget N] [--jobs N] [--k K]"
@@ -721,6 +735,76 @@ int cmd_campaign(int argc, char** argv) {
   return result.all_correct() ? 0 : 1;
 }
 
+int cmd_mega(int argc, char** argv) {
+  // Defaults ARE the golden megasession cell: `rstp mega --sessions 10000
+  // --metrics-out F` reproduces the checked-in baseline bit for bit (modulo
+  // the wall-clock events_per_sec field, which the gate treats as aggregate-
+  // only). Every flag below is an ad-hoc override for exploration.
+  sim::MultiSessionSpec spec = sim::golden_megasession_spec();
+  unsigned threads = 1;
+  std::string metrics_file;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sessions" && i + 1 < argc) {
+      const auto parsed = parse_number<std::uint64_t>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--sessions", argv[i]);
+      spec.sessions = *parsed;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      const auto parsed = parse_number<std::uint32_t>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--shards", argv[i]);
+      spec.shards = *parsed;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const auto parsed = parse_number<unsigned>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--threads", argv[i]);
+      threads = *parsed;
+    } else if (arg == "--protocol" && i + 1 < argc) {
+      const auto kind = parse_protocol(argv[++i]);
+      if (!kind.has_value()) {
+        std::cerr << "unknown protocol '" << argv[i] << "'\n";
+        return 2;
+      }
+      spec.protocol = *kind;
+    } else if (arg == "--k" && i + 1 < argc) {
+      const auto parsed = parse_number<std::uint32_t>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--k", argv[i]);
+      spec.k = *parsed;
+    } else if (arg == "--bits" && i + 1 < argc) {
+      const auto parsed = parse_number<std::uint32_t>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--bits", argv[i]);
+      spec.input_bits = *parsed;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      const auto parsed = parse_number<std::uint64_t>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--seed", argv[i]);
+      spec.base_seed = *parsed;
+    } else if (arg == "--max-events" && i + 1 < argc) {
+      const auto parsed = parse_number<std::uint64_t>(argv[++i]);
+      if (!parsed.has_value()) return bad_number("--max-events", argv[i]);
+      spec.max_events_per_session = *parsed;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  const sim::MultiSession mega{spec};
+  const sim::MultiSessionResult result = mega.run(threads);
+  std::cout << "mega: " << result.sessions << " sessions on " << spec.shards << " shards, "
+            << result.total_events << " events in " << std::fixed << std::setprecision(2)
+            << result.elapsed_seconds << "s (" << std::setprecision(0)
+            << result.events_per_sec << " events/sec), mean effort " << std::setprecision(2)
+            << result.effort.mean << " ticks/bit, "
+            << result.sessions - result.correct_sessions << " incorrect, "
+            << result.sessions - result.quiescent_sessions << " non-quiescent\n";
+  if (!metrics_file.empty()) {
+    if (!append_metrics_jsonl(metrics_file, {sim::multi_session_metrics_record(spec, result)})) {
+      std::cerr << "cannot open '" << metrics_file << "'\n";
+      return 1;
+    }
+    std::cout << "metrics: appended 1 fold record to " << metrics_file << "\n";
+  }
+  return result.all_correct() ? 0 : 1;
+}
+
 /// The two-file (diff / gate) form of `rstp report`. Malformed inputs and
 /// threshold specs are usage-class errors (exit 2, naming the offending line
 /// or token); a tripped gate is its own outcome (exit 3) so CI can tell
@@ -1195,6 +1279,7 @@ int main(int argc, char** argv) {
     if (command == "explore") return cmd_explore(argc, argv);
     if (command == "bench") return cmd_bench(argc, argv);
     if (command == "campaign") return cmd_campaign(argc, argv);
+    if (command == "mega") return cmd_mega(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
     if (command == "fuzz") return cmd_fuzz(argc, argv);
     if (command == "adversary") return cmd_adversary(argc, argv);
